@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one of the paper's tables or
+figures: the benchmark measures the experiment's runtime, and the
+rendered table/figure text is written to ``benchmarks/results/<id>.txt``
+so a ``pytest benchmarks/ --benchmark-only`` run leaves the full set of
+reproduced artefacts on disk.
+
+Trace scale is controlled by ``REPRO_BENCH_LENGTH`` (dynamic branches of
+the longest benchmark; default 20000 keeps the whole harness under a few
+minutes of pure Python).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import LabConfig
+from repro.analysis.runner import Lab
+from repro.workloads.suite import BENCHMARK_NAMES, load_benchmark, scaled_length
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_max_length() -> int:
+    return int(os.environ.get("REPRO_BENCH_LENGTH", "20000"))
+
+
+@pytest.fixture(scope="session")
+def labs():
+    """One lab per suite benchmark at bench scale, shared session-wide."""
+    max_length = bench_max_length()
+    return {
+        name: Lab(
+            load_benchmark(name, scaled_length(name, max_length), run_seed=12345)
+        )
+        for name in BENCHMARK_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, experiment_id: str, text: str) -> None:
+    (results_dir / f"{experiment_id}.txt").write_text(text + "\n")

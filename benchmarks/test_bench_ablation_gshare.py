@@ -1,0 +1,38 @@
+"""Ablation: gshare history length and PHT size at reproduction scale.
+
+DESIGN.md keeps the paper's nominal 16/16 gshare; this bench sweeps the
+configuration to show where training time and interference trade off on
+our scaled traces.
+"""
+
+from repro.predictors.twolevel import GsharePredictor
+
+from conftest import save_result
+
+CONFIGS = ((6, 12), (8, 12), (10, 12), (12, 12), (14, 14), (16, 16))
+
+
+def test_bench_ablation_gshare(benchmark, labs, results_dir):
+    subjects = {name: labs[name] for name in ("gcc", "go", "vortex")}
+
+    def sweep():
+        return {
+            bench: {
+                (h, p): float(GsharePredictor(h, p).simulate(lab.trace).mean())
+                for h, p in CONFIGS
+            }
+            for bench, lab in subjects.items()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["gshare configuration sweep (history bits / PHT bits):"]
+    for bench, by_config in results.items():
+        row = "  ".join(
+            f"{h}/{p}={accuracy * 100:.2f}"
+            for (h, p), accuracy in by_config.items()
+        )
+        lines.append(f"  {bench:8s} {row}")
+    save_result(results_dir, "ablation_gshare", "\n".join(lines))
+    for by_config in results.values():
+        for accuracy in by_config.values():
+            assert 0.5 < accuracy <= 1.0

@@ -1,0 +1,41 @@
+"""Ablation: sensitivity of the oracle to its candidate-pool size.
+
+DESIGN.md substitutes a top-K restricted exhaustive search for the
+paper's unspecified oracle; this bench measures how much selective-3
+accuracy depends on K.  A flat curve means the approximation is safe.
+"""
+
+from repro.correlation.selection import SelectionConfig, select_for_trace
+from repro.predictors.selective import SelectiveHistoryPredictor
+
+from conftest import save_result
+
+TOP_KS = (4, 8, 12, 16)
+
+
+def _selective_accuracy(lab, top_k):
+    config = SelectionConfig(window=16, top_k=top_k)
+    data = lab.correlation_data()
+    selections = select_for_trace(data, 3, config)
+    predictor = SelectiveHistoryPredictor(3, config)
+    predictor.fit(lab.trace, data=data, selections=selections)
+    return float(predictor.simulate(lab.trace).mean())
+
+
+def test_bench_ablation_topk(benchmark, labs, results_dir):
+    lab = labs["gcc"]
+
+    def sweep():
+        return {k: _selective_accuracy(lab, k) for k in TOP_KS}
+
+    accuracies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["oracle top-K sensitivity (gcc, selective-3):"]
+    lines.extend(
+        f"  top_k={k}: {accuracies[k] * 100:.2f}%" for k in TOP_KS
+    )
+    spread = (max(accuracies.values()) - min(accuracies.values())) * 100
+    lines.append(f"  spread: {spread:.2f} points")
+    save_result(results_dir, "ablation_topk", "\n".join(lines))
+    # The approximation must be stable: widening the pool beyond the
+    # default should not change accuracy by more than half a point.
+    assert abs(accuracies[16] - accuracies[12]) * 100 < 0.5

@@ -1,0 +1,16 @@
+"""Regenerate the extension experiments (beyond the paper's artefacts)."""
+
+import pytest
+
+from repro.experiments.base import EXTENSION_IDS, run_experiment
+
+from conftest import save_result
+
+
+@pytest.mark.parametrize("experiment_id", EXTENSION_IDS)
+def test_bench_extension(benchmark, labs, results_dir, experiment_id):
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, labs), rounds=1, iterations=1
+    )
+    assert result.experiment_id == experiment_id
+    save_result(results_dir, experiment_id, str(result))

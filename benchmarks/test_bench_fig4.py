@@ -1,0 +1,13 @@
+"""Regenerate the paper's fig4 and measure its cost."""
+
+from repro.experiments.base import run_experiment
+
+from conftest import save_result
+
+
+def test_bench_fig4(benchmark, labs, results_dir):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig4", labs), rounds=1, iterations=1
+    )
+    assert result.experiment_id == "fig4"
+    save_result(results_dir, "fig4", str(result))

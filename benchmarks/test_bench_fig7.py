@@ -1,0 +1,13 @@
+"""Regenerate the paper's fig7 and measure its cost."""
+
+from repro.experiments.base import run_experiment
+
+from conftest import save_result
+
+
+def test_bench_fig7(benchmark, labs, results_dir):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig7", labs), rounds=1, iterations=1
+    )
+    assert result.experiment_id == "fig7"
+    save_result(results_dir, "fig7", str(result))

@@ -1,0 +1,13 @@
+"""Regenerate the paper's fig8 and measure its cost."""
+
+from repro.experiments.base import run_experiment
+
+from conftest import save_result
+
+
+def test_bench_fig8(benchmark, labs, results_dir):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig8", labs), rounds=1, iterations=1
+    )
+    assert result.experiment_id == "fig8"
+    save_result(results_dir, "fig8", str(result))

@@ -1,0 +1,47 @@
+"""Robustness: the headline orderings hold across workload inputs.
+
+Runs the table-2 construction on the gcc and vortex analogues for three
+different execution seeds ("input data sets") and checks the qualitative
+claims are seed-stable: the correlation combiner always gains, and gains
+are larger on gcc than on vortex.
+"""
+
+from repro.analysis.runner import Lab
+from repro.predictors.hybrid import OracleCombiner
+from repro.workloads.suite import load_benchmark, scaled_length
+
+from conftest import bench_max_length, save_result
+
+SEEDS = (12345, 777, 31337)
+
+
+def test_bench_seed_variance(benchmark, results_dir):
+    max_length = min(bench_max_length(), 20000)
+
+    def sweep():
+        gains = {"gcc": [], "vortex": []}
+        for seed in SEEDS:
+            for name in gains:
+                lab = Lab(
+                    load_benchmark(
+                        name, scaled_length(name, max_length), run_seed=seed
+                    )
+                )
+                combined = OracleCombiner.combine(
+                    lab.trace, lab.correct("gshare"), lab.selective_correct(1)
+                )
+                gains[name].append(
+                    (float(combined.mean()) - lab.accuracy("gshare")) * 100
+                )
+        return gains
+
+    gains = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["table-2 gain (gshare w/ Corr - gshare) across input seeds:"]
+    for name, values in gains.items():
+        formatted = ", ".join(f"{v:.2f}" for v in values)
+        lines.append(f"  {name:8s} [{formatted}] points")
+    save_result(results_dir, "seed_variance", "\n".join(lines))
+    for name, values in gains.items():
+        assert all(v > 0 for v in values), name
+    for gcc_gain, vortex_gain in zip(gains["gcc"], gains["vortex"]):
+        assert gcc_gain > vortex_gain

@@ -1,0 +1,13 @@
+"""Regenerate the paper's table1 and measure its cost."""
+
+from repro.experiments.base import run_experiment
+
+from conftest import save_result
+
+
+def test_bench_table1(benchmark, labs, results_dir):
+    result = benchmark.pedantic(
+        run_experiment, args=("table1", labs), rounds=1, iterations=1
+    )
+    assert result.experiment_id == "table1"
+    save_result(results_dir, "table1", str(result))

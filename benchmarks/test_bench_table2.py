@@ -1,0 +1,13 @@
+"""Regenerate the paper's table2 and measure its cost."""
+
+from repro.experiments.base import run_experiment
+
+from conftest import save_result
+
+
+def test_bench_table2(benchmark, labs, results_dir):
+    result = benchmark.pedantic(
+        run_experiment, args=("table2", labs), rounds=1, iterations=1
+    )
+    assert result.experiment_id == "table2"
+    save_result(results_dir, "table2", str(result))

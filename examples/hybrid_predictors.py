@@ -1,0 +1,55 @@
+"""Why hybrids win: the section-5 story on one benchmark.
+
+Shows the per-branch accuracy difference between gshare and PAs (the
+figure-9 analysis), then builds McFarling's chooser hybrid from the same
+two components and compares it against both -- the paper's closing
+argument made executable.
+
+Run:
+    python examples/hybrid_predictors.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis.percentile import percentile_difference_curve
+from repro.analysis.runner import Lab
+from repro.predictors import ChooserHybrid, GsharePredictor, PAsPredictor
+from repro.workloads import load_benchmark
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    lab = Lab(load_benchmark(benchmark, length=40_000))
+    trace = lab.trace
+
+    gshare_correct = lab.correct("gshare")
+    pas_correct = lab.correct("pas")
+    curve = percentile_difference_curve(trace, gshare_correct, pas_correct)
+
+    print(f"{benchmark}: gshare vs PAs, per-branch (figure 9 view)")
+    print("percentile   gshare - PAs (points)")
+    for p in (0, 10, 25, 50, 75, 90, 100):
+        print(f"   p{p:<3d}        {curve.tail(p):+7.2f}")
+    print(
+        f"\nif only gshare existed, branches where PAs is better would "
+        f"cost {curve.area_b_better():.2f} points on average;"
+    )
+    print(
+        f"if only PAs existed, gshare-better branches would cost "
+        f"{curve.area_a_better():.2f} points."
+    )
+
+    # The fix the paper motivates: combine both with a chooser.
+    hybrid = ChooserHybrid(
+        GsharePredictor(lab.config.gshare_history_bits, lab.config.gshare_pht_bits),
+        PAsPredictor(lab.config.pas_history_bits, lab.config.pas_bht_bits),
+    )
+    hybrid_accuracy = hybrid.accuracy(trace)
+    print("\nwhole-benchmark accuracies:")
+    print(f"  gshare          {float(gshare_correct.mean()) * 100:6.2f}%")
+    print(f"  PAs             {float(pas_correct.mean()) * 100:6.2f}%")
+    print(f"  chooser hybrid  {hybrid_accuracy * 100:6.2f}%")
+
+
+if __name__ == "__main__":
+    main()

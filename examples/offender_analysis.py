@@ -1,0 +1,65 @@
+"""Diagnose a predictor: top offenders and training-time profile.
+
+The paper's method starts from per-branch accounting; this example shows
+the diagnostic workflow the library supports on top of it: find the
+branches that cost gshare the most, see how biased they are, and check
+how much of the loss is cold-start training rather than steady-state
+inability.
+
+Run:
+    python examples/offender_analysis.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis.offenders import render_offenders, top_offenders
+from repro.analysis.runner import Lab
+from repro.analysis.warmup import warmup_curve
+from repro.workloads import load_benchmark
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    lab = Lab(load_benchmark(benchmark, length=40_000))
+    trace = lab.trace
+    gshare_correct = lab.correct("gshare")
+
+    print(f"{benchmark}: gshare accuracy "
+          f"{float(gshare_correct.mean()) * 100:.2f}%\n")
+
+    print("top offenders (branches costing gshare the most):")
+    offenders = top_offenders(trace, gshare_correct, count=8)
+    print(render_offenders(offenders))
+
+    share = sum(o.misprediction_share for o in offenders)
+    print(f"\nthese {len(offenders)} branches cause "
+          f"{share * 100:.1f}% of all mispredictions")
+
+    print("\ntraining-time profile (accuracy by per-branch execution age):")
+    curve = warmup_curve(trace, gshare_correct)
+    for (low, high), accuracy, count in zip(
+        zip(curve.bucket_edges, curve.bucket_edges[1:]),
+        curve.accuracies,
+        curve.counts,
+    ):
+        if not count:
+            continue
+        upper = "+" if high > 1 << 32 else str(high)
+        print(f"  executions {low:>4}..{upper:<5}  "
+              f"{accuracy * 100:6.2f}%  ({count} branches)")
+    print(f"\ntraining cost: {curve.training_cost() * 100:.2f} points "
+          f"(cold-start loss the paper's section 3.6.3 describes)")
+
+    # Cross-check: are the offenders statically hopeless or just cold?
+    selective = lab.selective_correct(1)
+    print("\nwould one oracle-chosen correlated branch fix them?")
+    for offender in offenders[:4]:
+        indices = trace.indices_by_pc()[offender.pc]
+        fixed = float(selective[indices].mean())
+        print(f"  branch {offender.pc:#x}: gshare "
+              f"{offender.accuracy * 100:5.1f}% -> selective-1 "
+              f"{fixed * 100:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""From prediction accuracy to pipeline performance.
+
+The paper's opening motivation is pipeline flushes; this example turns
+the reproduction's accuracy numbers into CPI and speedup using the
+analytical model, across the Yeh/Patt predictor taxonomy.
+
+Run:
+    python examples/pipeline_cost.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis.cost import PipelineModel
+from repro.predictors import (
+    BimodalPredictor,
+    GAgPredictor,
+    GsharePredictor,
+    PAgPredictor,
+    PAsPredictor,
+    AlwaysTakenPredictor,
+    ChooserHybrid,
+)
+from repro.workloads import load_benchmark
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    trace = load_benchmark(benchmark, length=40_000)
+
+    # A late-1990s deep pipeline: 7-cycle flush, 18% branches.
+    model = PipelineModel(base_cpi=1.0, branch_fraction=0.18,
+                          misprediction_penalty=7.0)
+
+    predictors = [
+        AlwaysTakenPredictor(),
+        BimodalPredictor(12),
+        GAgPredictor(10),
+        GsharePredictor(16, 16),
+        PAgPredictor(6, 12),
+        PAsPredictor(6, 12),
+        ChooserHybrid(GsharePredictor(16, 16), PAsPredictor(6, 12)),
+    ]
+
+    print(f"{benchmark}: accuracy -> pipeline cost "
+          f"(penalty {model.misprediction_penalty:.0f} cycles)\n")
+    print(f"{'predictor':34s} {'accuracy':>9s} {'CPI':>7s} {'MPKI':>7s} {'speedup':>8s}")
+    baseline_cpi = None
+    for predictor in predictors:
+        accuracy = predictor.accuracy(trace)
+        cpi = model.cpi(accuracy)
+        if baseline_cpi is None:
+            baseline_cpi = cpi
+        print(
+            f"{predictor.name:34s} {accuracy * 100:8.2f}% {cpi:7.3f} "
+            f"{model.mispredictions_per_kilo_instruction(accuracy):7.2f} "
+            f"{baseline_cpi / cpi:7.3f}x"
+        )
+    print("\nspeedup is relative to the always-taken baseline")
+
+
+if __name__ == "__main__":
+    main()

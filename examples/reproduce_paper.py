@@ -1,0 +1,44 @@
+"""Reproduce every table and figure of the paper in one run.
+
+Equivalent to ``repro all`` but shows the library API: build the labs
+once, run the nine experiments against them, and write a combined
+report.
+
+Run:
+    python examples/reproduce_paper.py [max_length] [report.txt]
+"""
+
+import sys
+import time
+
+from repro.experiments import EXPERIMENT_IDS, build_labs, run_experiment
+
+
+def main() -> None:
+    max_length = int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
+    report_path = sys.argv[2] if len(sys.argv) > 2 else None
+
+    start = time.time()
+    labs = build_labs(max_length=max_length)
+    total = sum(len(lab.trace) for lab in labs.values())
+    print(f"built {len(labs)} benchmark traces ({total} dynamic branches)")
+
+    sections = []
+    for experiment_id in EXPERIMENT_IDS:
+        print(f"running {experiment_id}...", flush=True)
+        result = run_experiment(experiment_id, labs)
+        sections.append(str(result))
+
+    report = "\n\n".join(sections)
+    if report_path:
+        with open(report_path, "w") as fh:
+            fh.write(report + "\n")
+        print(f"report written to {report_path}")
+    else:
+        print()
+        print(report)
+    print(f"\ntotal time: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+All metadata lives in pyproject.toml; `pip install -e .` falls back to
+this legacy path when PEP 517 editable builds are unavailable.
+"""
+from setuptools import setup
+
+setup()

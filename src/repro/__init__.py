@@ -1,0 +1,39 @@
+"""repro: reproduction of Evers et al., ISCA 1998.
+
+"An Analysis of Correlation and Predictability: What Makes Two-Level
+Branch Predictors Work" analysed *why* two-level branch predictors work:
+how much branch correlation exists, how little history is needed when an
+oracle picks the right branches, and which branches are predictable
+per-address, globally, or not at all.
+
+Public API highlights:
+
+* :mod:`repro.trace` -- branch traces (columnar, file-backed).
+* :mod:`repro.workloads` -- synthetic SPECint95-analogue benchmarks.
+* :mod:`repro.predictors` -- every predictor the paper uses (gshare,
+  PAs, interference-free variants, loop/pattern/selective predictors,
+  hybrids, static baselines).
+* :mod:`repro.correlation` -- instance tagging and oracle selection of
+  correlated branches.
+* :mod:`repro.classify` -- per-address and global/per-address/static
+  branch classification.
+* :mod:`repro.analysis` -- the simulation lab (memoised predictor runs,
+  per-branch accuracy accounting, percentile curves).
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.trace import Trace, TraceBuilder, read_trace, write_trace
+from repro.workloads import BENCHMARK_NAMES, load_benchmark, load_suite
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "Trace",
+    "TraceBuilder",
+    "__version__",
+    "load_benchmark",
+    "load_suite",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,52 @@
+"""Analysis layer: the simulation lab and accuracy accounting.
+
+* :mod:`~repro.analysis.config` -- the scaled predictor configuration
+  shared by every experiment (and the scaling rationale).
+* :mod:`~repro.analysis.runner` -- :class:`~repro.analysis.runner.Lab`,
+  which runs each predictor once per trace and memoises the per-branch
+  correctness bitmaps everything downstream consumes.
+* :mod:`~repro.analysis.accuracy` -- grouping bitmaps by static branch.
+* :mod:`~repro.analysis.percentile` -- the dynamic-weighted percentile
+  curves of figure 9.
+* :mod:`~repro.analysis.interference` -- gshare PHT-interference
+  accounting (the Talcott/Young effect of section 2.2).
+* :mod:`~repro.analysis.cost` -- the analytical pipeline model turning
+  accuracy into CPI (the paper's motivation).
+"""
+
+from repro.analysis.accuracy import (
+    accuracy_by_branch,
+    dynamic_weighted_fraction,
+    misprediction_reduction,
+)
+from repro.analysis.config import LabConfig
+from repro.analysis.cost import PipelineModel
+from repro.analysis.interference import (
+    InterferenceReport,
+    measure_gshare_interference,
+)
+from repro.analysis.offenders import (
+    BranchOffender,
+    render_offenders,
+    top_offenders,
+)
+from repro.analysis.percentile import percentile_difference_curve
+from repro.analysis.runner import Lab
+from repro.analysis.warmup import WarmupCurve, warmup_curve
+
+__all__ = [
+    "BranchOffender",
+    "InterferenceReport",
+    "Lab",
+    "LabConfig",
+    "PipelineModel",
+    "accuracy_by_branch",
+    "dynamic_weighted_fraction",
+    "measure_gshare_interference",
+    "misprediction_reduction",
+    "percentile_difference_curve",
+    "render_offenders",
+    "top_offenders",
+    "WarmupCurve",
+    "warmup_curve",
+]

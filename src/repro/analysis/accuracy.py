@@ -1,0 +1,76 @@
+"""Per-branch accuracy accounting.
+
+Every predictor run yields a per-dynamic-branch correctness bitmap; the
+paper's classification experiments (sections 4-5) compare predictors *per
+static branch*, weighting by dynamic execution frequency.  These helpers
+do that bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+
+def accuracy_by_branch(trace: Trace, correct: np.ndarray) -> Dict[int, float]:
+    """Per-static-branch accuracy from a correctness bitmap.
+
+    Args:
+        trace: The simulated trace.
+        correct: Bitmap aligned with ``trace`` (one bool per dynamic
+            branch).
+
+    Returns:
+        Map from branch address to that branch's prediction accuracy.
+    """
+    if len(correct) != len(trace):
+        raise ValueError(
+            f"bitmap length {len(correct)} != trace length {len(trace)}"
+        )
+    return {
+        pc: float(correct[indices].mean())
+        for pc, indices in trace.indices_by_pc().items()
+    }
+
+
+def correct_counts_by_branch(trace: Trace, correct: np.ndarray) -> Dict[int, int]:
+    """Per-static-branch count of correct predictions."""
+    if len(correct) != len(trace):
+        raise ValueError(
+            f"bitmap length {len(correct)} != trace length {len(trace)}"
+        )
+    return {
+        pc: int(correct[indices].sum())
+        for pc, indices in trace.indices_by_pc().items()
+    }
+
+
+def dynamic_weighted_fraction(trace: Trace, branches: Iterable[int]) -> float:
+    """Fraction of *dynamic* branches whose static branch is in ``branches``.
+
+    This is the weighting the paper uses for every distribution figure
+    ("weighted by the dynamic execution frequencies of the branches").
+    """
+    if not len(trace):
+        return 0.0
+    counts = trace.dynamic_counts()
+    member = sum(counts.get(pc, 0) for pc in branches)
+    return member / len(trace)
+
+
+def misprediction_reduction(
+    baseline_accuracy: float, improved_accuracy: float
+) -> float:
+    """Fraction of the baseline's mispredictions removed by the improvement.
+
+    The paper reports combiner gains both as accuracy deltas and as
+    misprediction fractions ("representing 13% of the mispredictions for
+    gcc"); this converts between the two views.
+    """
+    mispredictions = 1.0 - baseline_accuracy
+    if mispredictions <= 0.0:
+        return 0.0
+    return (improved_accuracy - baseline_accuracy) / mispredictions

@@ -1,0 +1,67 @@
+"""Pipeline-cost model: from prediction accuracy to CPI.
+
+The paper opens with the motivation: "Pipeline flushes due to branch
+mispredictions is one of the most serious problems facing the designer
+of a deeply pipelined, superscalar processor."  This module closes that
+loop with the standard analytical model, so accuracy differences can be
+read as execution-time differences.
+
+CPI = base_cpi + branch_fraction * (1 - accuracy) * misprediction_penalty
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """An analytical pipeline cost model.
+
+    Attributes:
+        base_cpi: Cycles per instruction with perfect branch prediction.
+        branch_fraction: Conditional branches per instruction (SPECint is
+            classically ~0.15-0.20).
+        misprediction_penalty: Flush cost in cycles (late-1990s deep
+            pipelines: ~4-12; the default 7 suits the paper's era).
+    """
+
+    base_cpi: float = 1.0
+    branch_fraction: float = 0.18
+    misprediction_penalty: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ValueError(f"base_cpi must be > 0, got {self.base_cpi}")
+        if not 0.0 <= self.branch_fraction <= 1.0:
+            raise ValueError(
+                f"branch_fraction must be in [0, 1], got {self.branch_fraction}"
+            )
+        if self.misprediction_penalty < 0:
+            raise ValueError(
+                f"misprediction_penalty must be >= 0, got "
+                f"{self.misprediction_penalty}"
+            )
+
+    def cpi(self, accuracy: float) -> float:
+        """Cycles per instruction at the given prediction accuracy."""
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+        return (
+            self.base_cpi
+            + self.branch_fraction * (1.0 - accuracy) * self.misprediction_penalty
+        )
+
+    def speedup(self, baseline_accuracy: float, improved_accuracy: float) -> float:
+        """Relative speedup from improving prediction accuracy.
+
+        Returns:
+            baseline CPI / improved CPI (> 1 means faster).
+        """
+        return self.cpi(baseline_accuracy) / self.cpi(improved_accuracy)
+
+    def mispredictions_per_kilo_instruction(self, accuracy: float) -> float:
+        """The MPKI metric commonly used in later predictor literature."""
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+        return 1000.0 * self.branch_fraction * (1.0 - accuracy)

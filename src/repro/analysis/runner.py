@@ -1,0 +1,138 @@
+"""The simulation lab: one place that runs predictors and caches results.
+
+Every experiment in the paper reuses the same underlying simulations
+(gshare appears in figure 4, table 2, figure 7 and figure 9; the
+correlation collection feeds figures 4, 5, 8 and table 2).  A
+:class:`Lab` wraps one trace and memoises every predictor's per-branch
+correctness bitmap plus the correlation data, so a full experiment run
+simulates each predictor exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.config import DEFAULT_CONFIG, LabConfig
+from repro.correlation.selection import Selection, select_for_trace
+from repro.correlation.tagging import CorrelationData, collect_correlation_data
+from repro.predictors.base import BranchPredictor
+from repro.predictors.pattern import best_fixed_length_correct
+from repro.predictors.selective import SelectiveHistoryPredictor
+from repro.trace.stats import TraceStatistics, compute_statistics
+from repro.trace.trace import Trace
+
+
+class Lab:
+    """Memoised predictor runs over a single trace.
+
+    Args:
+        trace: The branch trace under analysis.
+        config: Predictor sizing (defaults to the paper-scaled
+            :data:`~repro.analysis.config.DEFAULT_CONFIG`).
+    """
+
+    def __init__(self, trace: Trace, config: LabConfig = DEFAULT_CONFIG) -> None:
+        self.trace = trace
+        self.config = config
+        self._correct: Dict[str, np.ndarray] = {}
+        self._correlation_data: Optional[CorrelationData] = None
+        self._selections: Dict[Tuple[int, int], Dict[int, Selection]] = {}
+        self._stats: Optional[TraceStatistics] = None
+        self._factories: Dict[str, Callable[[], BranchPredictor]] = {
+            "gshare": config.gshare,
+            "if_gshare": config.if_gshare,
+            "pas": config.pas,
+            "if_pas": config.if_pas,
+            "loop": config.loop,
+            "block": config.block_pattern,
+            "ideal_static": config.ideal_static,
+        }
+
+    # -- basic results ------------------------------------------------------
+
+    @property
+    def stats(self) -> TraceStatistics:
+        """Summary statistics of the trace (memoised)."""
+        if self._stats is None:
+            self._stats = compute_statistics(self.trace)
+        return self._stats
+
+    def available_predictors(self) -> Tuple[str, ...]:
+        """Names accepted by :meth:`correct` / :meth:`accuracy`."""
+        return tuple(self._factories) + ("fixed_best",)
+
+    def correct(self, name: str) -> np.ndarray:
+        """Correctness bitmap of a named predictor (simulated once)."""
+        cached = self._correct.get(name)
+        if cached is not None:
+            return cached
+        if name == "fixed_best":
+            bitmap = best_fixed_length_correct(self.trace)
+        else:
+            try:
+                factory = self._factories[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown predictor {name!r}; choose from "
+                    f"{self.available_predictors()}"
+                ) from None
+            bitmap = factory().simulate(self.trace)
+        self._correct[name] = bitmap
+        return bitmap
+
+    def accuracy(self, name: str) -> float:
+        """Overall accuracy of a named predictor."""
+        if not len(self.trace):
+            return 0.0
+        return float(self.correct(name).mean())
+
+    # -- correlation results ---------------------------------------------------
+
+    def correlation_data(self) -> CorrelationData:
+        """Tagged-correlation observations (collected once at window 32)."""
+        if self._correlation_data is None:
+            self._correlation_data = collect_correlation_data(
+                self.trace, window=self.config.collection_window
+            )
+        return self._correlation_data
+
+    def selections(self, count: int, window: int = None) -> Dict[int, Selection]:
+        """Oracle selections for a selective history of ``count`` branches."""
+        if window is None:
+            window = self.config.selective_window
+        key = (count, window)
+        cached = self._selections.get(key)
+        if cached is None:
+            cached = select_for_trace(
+                self.correlation_data(),
+                count,
+                self.config.selection_config(window),
+            )
+            self._selections[key] = cached
+        return cached
+
+    def selective_correct(self, count: int, window: int = None) -> np.ndarray:
+        """Correctness bitmap of the selective-history predictor."""
+        if window is None:
+            window = self.config.selective_window
+        name = f"selective_{count}_{window}"
+        cached = self._correct.get(name)
+        if cached is None:
+            predictor = SelectiveHistoryPredictor(
+                count, self.config.selection_config(window)
+            )
+            predictor.fit(
+                self.trace,
+                data=self.correlation_data(),
+                selections=self.selections(count, window),
+            )
+            cached = predictor.simulate(self.trace)
+            self._correct[name] = cached
+        return cached
+
+    def selective_accuracy(self, count: int, window: int = None) -> float:
+        if not len(self.trace):
+            return 0.0
+        return float(self.selective_correct(count, window).mean())

@@ -1,0 +1,26 @@
+"""Branch classification (sections 4 and 5 of the paper).
+
+* :mod:`~repro.classify.per_address` -- assign every static branch to a
+  per-address predictability class (loop / repeating pattern /
+  non-repeating pattern / ideal-static-best), figure 6.
+* :mod:`~repro.classify.global_local` -- distributions of branches best
+  predicted globally, per-address, or statically (figures 7 and 8).
+"""
+
+from repro.classify.per_address import (
+    PER_ADDRESS_CLASSES,
+    PerAddressClassification,
+    classify_per_address,
+)
+from repro.classify.global_local import (
+    BestPredictorDistribution,
+    best_predictor_distribution,
+)
+
+__all__ = [
+    "BestPredictorDistribution",
+    "PER_ADDRESS_CLASSES",
+    "PerAddressClassification",
+    "best_predictor_distribution",
+    "classify_per_address",
+]

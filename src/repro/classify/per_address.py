@@ -1,0 +1,108 @@
+"""Per-address predictability classes (section 4.1, figure 6).
+
+Each static branch is scored by the class predictors -- the loop
+predictor (4.1.1), the repeating-pattern predictors (best fixed-length-k
+and the block predictor, 4.1.2), and interference-free PAs for
+non-repeating patterns (4.1.3) -- and assigned to the class whose
+predictor is most accurate on it.  Branches that the ideal static
+predictor handles at least as well belong to no class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.analysis.accuracy import (
+    correct_counts_by_branch,
+    dynamic_weighted_fraction,
+)
+from repro.analysis.runner import Lab
+from repro.trace.stats import per_branch_bias
+
+#: Class labels in the paper's figure-6 legend order.
+PER_ADDRESS_CLASSES = ("ideal_static", "loop", "repeating", "non_repeating")
+
+
+@dataclass(frozen=True)
+class PerAddressClassification:
+    """Result of the section-4 classification.
+
+    Attributes:
+        class_of: Map from static branch address to its class label (one
+            of :data:`PER_ADDRESS_CLASSES`).
+        dynamic_fractions: Dynamic-execution-weighted fraction of each
+            class (the bars of figure 6).
+        static_best_biased_fraction: Among ideal-static-best branches,
+            the dynamic-weighted fraction that is more than 99% biased
+            (the paper reports 88% for figure 6).
+    """
+
+    class_of: Dict[int, str]
+    dynamic_fractions: Dict[str, float]
+    static_best_biased_fraction: float
+
+    def members(self, label: str) -> Set[int]:
+        """Static branch addresses belonging to ``label``."""
+        if label not in PER_ADDRESS_CLASSES:
+            raise KeyError(
+                f"unknown class {label!r}; choose from {PER_ADDRESS_CLASSES}"
+            )
+        return {pc for pc, cls in self.class_of.items() if cls == label}
+
+
+def classify_per_address(lab: Lab) -> PerAddressClassification:
+    """Run the section-4 classification over a lab's trace.
+
+    Ties follow the paper's rule: the ideal static predictor wins ties
+    against every class ("at least equally well predicted"); among the
+    classes, ties go to the simpler premise (loop, then repeating, then
+    non-repeating).
+    """
+    trace = lab.trace
+    loop_counts = correct_counts_by_branch(trace, lab.correct("loop"))
+    fixed_counts = correct_counts_by_branch(trace, lab.correct("fixed_best"))
+    block_counts = correct_counts_by_branch(trace, lab.correct("block"))
+    pas_counts = correct_counts_by_branch(trace, lab.correct("if_pas"))
+    static_counts = correct_counts_by_branch(trace, lab.correct("ideal_static"))
+
+    class_of: Dict[int, str] = {}
+    for pc in static_counts:
+        repeating = max(fixed_counts[pc], block_counts[pc])
+        candidates = (
+            ("loop", loop_counts[pc]),
+            ("repeating", repeating),
+            ("non_repeating", pas_counts[pc]),
+        )
+        best_label, best_count = max(candidates, key=lambda item: item[1])
+        # First candidate in declaration order wins ties via max() --
+        # loop before repeating before non-repeating, as documented.
+        if static_counts[pc] >= best_count:
+            class_of[pc] = "ideal_static"
+        else:
+            class_of[pc] = best_label
+
+    fractions = {
+        label: dynamic_weighted_fraction(
+            trace, [pc for pc, cls in class_of.items() if cls == label]
+        )
+        for label in PER_ADDRESS_CLASSES
+    }
+
+    biases = per_branch_bias(trace)
+    counts = trace.dynamic_counts()
+    static_members = [pc for pc, cls in class_of.items() if cls == "ideal_static"]
+    static_dynamic = sum(counts[pc] for pc in static_members)
+    if static_dynamic:
+        biased_dynamic = sum(
+            counts[pc] for pc in static_members if biases[pc] > 0.99
+        )
+        biased_fraction = biased_dynamic / static_dynamic
+    else:
+        biased_fraction = 0.0
+
+    return PerAddressClassification(
+        class_of=class_of,
+        dynamic_fractions=fractions,
+        static_best_biased_fraction=biased_fraction,
+    )

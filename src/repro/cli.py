@@ -1,0 +1,125 @@
+"""Command-line interface: ``repro [experiment ids | all]``.
+
+Examples::
+
+    repro table2                 # one experiment
+    repro fig4 fig5              # several
+    repro all                    # the whole suite, paper order
+    repro all --max-length 50000 # smaller traces, faster
+    python -m repro all          # equivalent module form
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.config import LabConfig
+from repro.experiments.base import (
+    EXPERIMENT_IDS,
+    EXTENSION_IDS,
+    build_labs,
+    run_experiment,
+)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the tables and figures of Evers et al., 'An "
+            "Analysis of Correlation and Predictability' (ISCA 1998)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=(
+            f"experiment ids ({', '.join(EXPERIMENT_IDS)}), extension ids "
+            f"({', '.join(EXTENSION_IDS)}), 'all' (paper artefacts) or "
+            "'extensions'"
+        ),
+    )
+    parser.add_argument(
+        "--max-length",
+        type=int,
+        default=None,
+        help=(
+            "dynamic branch count of the longest benchmark; the others "
+            "keep the paper's proportions (default: REPRO_TRACE_LENGTH "
+            "or 200000)"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=12345,
+        help="workload execution seed (the 'input data set')",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also export the structured results as JSON to PATH",
+    )
+    parser.add_argument(
+        "--gshare-history",
+        type=int,
+        default=None,
+        help="override the reference gshare history length",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    requested: List[str] = []
+    for item in args.experiments:
+        if item == "all":
+            requested.extend(EXPERIMENT_IDS)
+        elif item == "extensions":
+            requested.extend(EXTENSION_IDS)
+        elif item in EXPERIMENT_IDS or item in EXTENSION_IDS:
+            requested.append(item)
+        else:
+            print(
+                f"error: unknown experiment {item!r}; choose from "
+                f"{', '.join(EXPERIMENT_IDS + EXTENSION_IDS)}, 'all' or "
+                "'extensions'",
+                file=sys.stderr,
+            )
+            return 2
+
+    config = LabConfig()
+    if args.gshare_history is not None:
+        config = LabConfig(
+            gshare_history_bits=args.gshare_history,
+            gshare_pht_bits=args.gshare_history,
+        )
+
+    start = time.time()
+    print("building workload traces...", flush=True)
+    labs = build_labs(args.max_length, config, args.seed)
+    total = sum(len(lab.trace) for lab in labs.values())
+    print(f"  {len(labs)} benchmarks, {total} dynamic branches\n", flush=True)
+
+    results = {}
+    for experiment_id in dict.fromkeys(requested):
+        print(f"running {experiment_id}...", flush=True)
+        result = run_experiment(experiment_id, labs)
+        results[experiment_id] = result
+        print(f"\n{result}\n", flush=True)
+    if args.json:
+        from repro.experiments.export import export_results
+
+        export_results(results, args.json)
+        print(f"JSON results written to {args.json}")
+    print(f"done in {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Branch-correlation analysis machinery (section 3 of the paper).
+
+* :mod:`~repro.correlation.tagging` -- the two instance-tagging schemes
+  of section 3.2 (occurrence numbering and backward-branch counting) and
+  the single-pass collector that records, for every static branch, which
+  tagged prior branches appeared in its history window and with what
+  outcome.
+* :mod:`~repro.correlation.selection` -- scoring of candidate correlated
+  branches and the oracle choice of the 1/2/3 most important branches
+  (section 3.4).
+"""
+
+from repro.correlation.selection import (
+    SelectionConfig,
+    Selection,
+    joint_ideal_accuracy,
+    select_for_branch,
+    select_for_trace,
+    single_tag_score,
+)
+from repro.correlation.tagging import (
+    BranchCorrelationData,
+    CorrelationData,
+    TagKey,
+    collect_correlation_data,
+    STATE_ABSENT,
+    STATE_NOT_TAKEN,
+    STATE_TAKEN,
+)
+
+__all__ = [
+    "BranchCorrelationData",
+    "CorrelationData",
+    "Selection",
+    "SelectionConfig",
+    "STATE_ABSENT",
+    "STATE_NOT_TAKEN",
+    "STATE_TAKEN",
+    "TagKey",
+    "collect_correlation_data",
+    "joint_ideal_accuracy",
+    "select_for_branch",
+    "select_for_trace",
+    "single_tag_score",
+]

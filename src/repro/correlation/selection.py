@@ -1,0 +1,231 @@
+"""Oracle selection of the most important correlated branches (section 3.4).
+
+The paper's hypothetical selective-history predictor records only the 1, 2
+or 3 *most important* prior branches, chosen by an oracle.  The paper does
+not specify the oracle's search procedure; we use the standard
+approximation (documented in DESIGN.md):
+
+* every candidate tag is scored alone by the accuracy an *ideal table*
+  (per-pattern majority) would reach over the branch's whole run;
+* candidates below a support threshold are pruned;
+* the best single candidate is found exhaustively, the best pair
+  exhaustively over the ``top_k`` singles, and the best triple by greedy
+  extension of the best pair.
+
+The reported experiment numbers never use these ideal-table scores
+directly: the chosen tags are *replayed* with 2-bit saturating counters
+(:mod:`repro.predictors.selective`), exactly as the paper's predictor
+operates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.correlation.tagging import (
+    BranchCorrelationData,
+    CorrelationData,
+    TagKey,
+)
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Oracle search parameters.
+
+    Attributes:
+        window: History depth (the paper's n, 8..32; default 16).
+        top_k: Number of top-scoring single candidates admitted to the
+            pair/triple search.
+        min_support_fraction: A candidate must appear in at least this
+            fraction of the branch's instances...
+        min_support_absolute: ...and at least this many instances.
+        tag_kinds: Restrict candidates to these tagging schemes
+            (:data:`~repro.correlation.tagging.TAG_OCCURRENCE` and/or
+            :data:`~repro.correlation.tagging.TAG_BACKWARD`).  ``None``
+            uses both, as the paper does; the ablation benches use the
+            restriction to measure what each scheme contributes.
+    """
+
+    window: int = 16
+    top_k: int = 12
+    min_support_fraction: float = 0.05
+    min_support_absolute: int = 4
+    tag_kinds: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+
+
+@dataclass(frozen=True)
+class Selection:
+    """The oracle's choice for one static branch.
+
+    Attributes:
+        tags: The chosen correlated branches (possibly fewer than
+            requested when a branch has too few qualified candidates).
+        ideal_accuracy: Ideal-table accuracy of the chosen set; an upper
+            bound on what counter-based replay can achieve.
+    """
+
+    tags: Tuple[TagKey, ...]
+    ideal_accuracy: float
+
+
+def single_tag_score(
+    branch: BranchCorrelationData, tag: TagKey, window: int
+) -> float:
+    """Ideal-table accuracy of predicting ``branch`` from ``tag`` alone.
+
+    Instances are bucketed by the tag's three-state outcome (taken /
+    not-taken / not-in-path); within each bucket the majority direction is
+    counted correct.
+    """
+    outcomes = branch.outcomes
+    n = len(outcomes)
+    if n == 0:
+        return 0.0
+    indices, depths, tag_outcomes = branch.decode_tag(tag)
+    visible = depths <= window
+    present_idx = indices[visible]
+    present_out = tag_outcomes[visible]
+    branch_out = outcomes[present_idx]
+    # Bucket counts: key = tag_outcome * 2 + branch_outcome.
+    counts = np.bincount(present_out * 2 + branch_out, minlength=4)
+    taken_bucket_correct = max(counts[2], counts[3])
+    not_taken_bucket_correct = max(counts[0], counts[1])
+    total_taken = int(outcomes.sum())
+    present_taken = int(counts[1] + counts[3])
+    absent_total = n - len(present_idx)
+    absent_taken = total_taken - present_taken
+    absent_correct = max(absent_taken, absent_total - absent_taken)
+    return (taken_bucket_correct + not_taken_bucket_correct + absent_correct) / n
+
+
+def joint_ideal_accuracy(
+    state_vectors: Sequence[np.ndarray], outcomes: np.ndarray
+) -> float:
+    """Ideal-table accuracy over the joint 3**c-pattern history.
+
+    Args:
+        state_vectors: One dense three-state vector per chosen tag.
+        outcomes: The branch's outcomes, aligned with the vectors.
+    """
+    n = len(outcomes)
+    if n == 0:
+        return 0.0
+    combined = np.zeros(n, dtype=np.int64)
+    for states in state_vectors:
+        combined = combined * 3 + states
+    keys = combined * 2 + outcomes
+    counts = np.bincount(keys, minlength=2 * 3 ** len(state_vectors))
+    pairs = counts.reshape(-1, 2)
+    return float(pairs.max(axis=1).sum()) / n
+
+
+def _bias_accuracy(outcomes: np.ndarray) -> float:
+    if len(outcomes) == 0:
+        return 0.0
+    rate = float(outcomes.mean())
+    return max(rate, 1.0 - rate)
+
+
+def _qualified_candidates(
+    branch: BranchCorrelationData, config: SelectionConfig
+) -> List[Tuple[TagKey, float]]:
+    """Score all candidates that pass the support threshold."""
+    n = branch.num_instances()
+    support_floor = max(
+        config.min_support_absolute, int(config.min_support_fraction * n)
+    )
+    scored: List[Tuple[TagKey, float]] = []
+    for tag in branch.tag_entries:
+        if config.tag_kinds is not None and tag[0] not in config.tag_kinds:
+            continue
+        _indices, depths, _outcomes = branch.decode_tag(tag)
+        support = int((depths <= config.window).sum())
+        if support < support_floor:
+            continue
+        scored.append((tag, single_tag_score(branch, tag, config.window)))
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return scored
+
+
+def select_for_branch(
+    branch: BranchCorrelationData,
+    count: int,
+    config: SelectionConfig = SelectionConfig(),
+) -> Selection:
+    """Choose the ``count`` most important correlated branches for one branch.
+
+    Args:
+        branch: Collected correlation observations for the branch.
+        count: Size of the selective history (1, 2 or 3 in the paper).
+        config: Oracle search parameters.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    scored = _qualified_candidates(branch, config)
+    if not scored:
+        return Selection(tags=(), ideal_accuracy=_bias_accuracy(branch.outcomes))
+
+    best_single = scored[0]
+    if count == 1 or len(scored) == 1:
+        return Selection(tags=(best_single[0],), ideal_accuracy=best_single[1])
+
+    top = [tag for tag, _score in scored[: config.top_k]]
+    vectors = {
+        tag: branch.state_vector(tag, config.window) for tag in top
+    }
+    outcomes = branch.outcomes
+
+    best_pair: Tuple[TagKey, ...] = (best_single[0],)
+    best_pair_score = best_single[1]
+    for pair in combinations(top, 2):
+        score = joint_ideal_accuracy([vectors[t] for t in pair], outcomes)
+        if score > best_pair_score:
+            best_pair_score = score
+            best_pair = pair
+    if count == 2 or len(best_pair) < 2:
+        return Selection(tags=tuple(best_pair), ideal_accuracy=best_pair_score)
+
+    # Greedy third: extend the best pair with the best remaining candidate.
+    best_triple = best_pair
+    best_triple_score = best_pair_score
+    pair_vectors = [vectors[t] for t in best_pair]
+    for tag in top:
+        if tag in best_pair:
+            continue
+        score = joint_ideal_accuracy(pair_vectors + [vectors[tag]], outcomes)
+        if score > best_triple_score:
+            best_triple_score = score
+            best_triple = best_pair + (tag,)
+    return Selection(tags=tuple(best_triple), ideal_accuracy=best_triple_score)
+
+
+def select_for_trace(
+    data: CorrelationData,
+    count: int,
+    config: SelectionConfig = SelectionConfig(),
+) -> Dict[int, Selection]:
+    """Run the oracle for every static branch in the trace.
+
+    Returns:
+        Map from branch address to its :class:`Selection`.
+    """
+    if config.window > data.window:
+        raise ValueError(
+            f"analysis window {config.window} exceeds collection window "
+            f"{data.window}"
+        )
+    return {
+        pc: select_for_branch(branch, count, config)
+        for pc, branch in data.branches.items()
+    }

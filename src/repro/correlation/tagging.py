@@ -1,0 +1,220 @@
+"""Instance tagging and correlation-data collection (section 3.2).
+
+In tight loops several iterations fit inside the history window, so a
+static branch address alone cannot identify *which* dynamic instance of a
+prior branch we are correlating with.  The paper tags every prior branch
+two ways and keeps both tag sets as distinct correlation candidates:
+
+1. **Occurrence numbering** (``TAG_OCCURRENCE``): number instances of a
+   static branch back from the current branch -- the most recent
+   occurrence of A is A0, the next A1, ...  Stable for branches that
+   execute every iteration, ambiguous across iterations otherwise.
+2. **Backward-branch counting** (``TAG_BACKWARD``): tag an instance by
+   how many backward (loop-closing) branches executed between it and the
+   current branch -- a proxy for "how many iterations ago".  Stable
+   within a loop, ambiguous for branches before the loop.
+
+The collector makes one pass over the trace with the *maximum* history
+window (32, the largest the paper sweeps in figure 5) and records the
+depth of every tagged appearance, so any smaller window can be analysed
+by filtering on depth: numbering under both schemes counts from the
+current branch and is therefore window-independent.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+#: Tag kinds (section 3.2's two schemes).
+TAG_OCCURRENCE = 0
+TAG_BACKWARD = 1
+
+#: A correlation candidate: (scheme, static branch address, instance number).
+TagKey = Tuple[int, int, int]
+
+#: Three-state outcome of a tagged branch relative to the current branch
+#: (section 3.4: "taken, not taken or not in the path").
+STATE_ABSENT = 0
+STATE_NOT_TAKEN = 1
+STATE_TAKEN = 2
+
+#: Largest history window the paper examines (figure 5 sweeps 8..32).
+MAX_WINDOW = 32
+
+# Packed-entry layout: (instance_index << 7) | (depth << 1) | outcome.
+# depth <= MAX_WINDOW < 64 fits in 6 bits.
+_DEPTH_SHIFT = 1
+_INDEX_SHIFT = 7
+_DEPTH_MASK = 0x3F
+
+
+def _pack(instance_index: int, depth: int, outcome: int) -> int:
+    return (instance_index << _INDEX_SHIFT) | (depth << _DEPTH_SHIFT) | outcome
+
+
+@dataclass
+class BranchCorrelationData:
+    """Correlation observations for one static branch.
+
+    Attributes:
+        pc: The static branch address.
+        trace_indices: Global trace positions of this branch's dynamic
+            instances, in execution order.
+        outcomes: This branch's outcome per instance (aligned with
+            ``trace_indices``).
+        tag_entries: For each candidate tag, the packed appearances:
+            one entry per (instance of this branch, appearance of the
+            tagged branch in that instance's window), encoding the
+            instance index, the depth (distance back in branches, >= 1)
+            and the tagged branch's outcome.
+    """
+
+    pc: int
+    trace_indices: np.ndarray
+    outcomes: np.ndarray
+    tag_entries: Dict[TagKey, array] = field(default_factory=dict)
+
+    _decoded_cache: Dict[TagKey, Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def num_instances(self) -> int:
+        return len(self.outcomes)
+
+    def decode_tag(
+        self, tag: TagKey
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Unpack a tag's entries into (instance_index, depth, outcome) arrays."""
+        cached = self._decoded_cache.get(tag)
+        if cached is None:
+            packed = np.frombuffer(self.tag_entries[tag], dtype=np.int64)
+            indices = packed >> _INDEX_SHIFT
+            depths = (packed >> _DEPTH_SHIFT) & _DEPTH_MASK
+            outcomes = packed & 1
+            cached = (indices, depths, outcomes)
+            self._decoded_cache[tag] = cached
+        return cached
+
+    def state_vector(self, tag: TagKey, window: int) -> np.ndarray:
+        """Dense per-instance state of ``tag`` under a ``window``-branch history.
+
+        Returns an int8 array over this branch's instances with values
+        :data:`STATE_ABSENT`, :data:`STATE_NOT_TAKEN`, :data:`STATE_TAKEN`.
+        """
+        states = np.zeros(self.num_instances(), dtype=np.int8)
+        indices, depths, outcomes = self.decode_tag(tag)
+        visible = depths <= window
+        # Entries are appended shallow-to-deep per instance; writing in
+        # reverse makes the shallowest (most recent) appearance win where
+        # the backward scheme produced duplicates at several depths.
+        idx = indices[visible][::-1]
+        out = outcomes[visible][::-1]
+        states[idx] = np.where(out == 1, STATE_TAKEN, STATE_NOT_TAKEN).astype(np.int8)
+        return states
+
+
+@dataclass
+class CorrelationData:
+    """Correlation observations for a whole trace.
+
+    Attributes:
+        window: The collection window (any analysis window <= this is
+            supported by depth filtering).
+        trace_length: Number of dynamic branches in the source trace.
+        branches: Per-static-branch observations.
+    """
+
+    window: int
+    trace_length: int
+    branches: Dict[int, BranchCorrelationData]
+
+
+def collect_correlation_data(trace: Trace, window: int = MAX_WINDOW) -> CorrelationData:
+    """One-pass collection of tagged-correlation observations.
+
+    For every dynamic branch, every branch in its ``window``-deep history
+    is tagged under both schemes and recorded under the current branch's
+    static address, exactly as the paper's oracle analysis requires.
+
+    Args:
+        trace: The branch trace to analyse.
+        window: History depth; must be <= :data:`MAX_WINDOW` because of
+            the packed-entry encoding.
+
+    Returns:
+        The collected :class:`CorrelationData`.
+    """
+    if not 1 <= window <= MAX_WINDOW:
+        raise ValueError(f"window must be in [1, {MAX_WINDOW}], got {window}")
+
+    n = len(trace)
+    pcs = trace.pc.tolist()
+    takens = trace.taken.tolist()
+    # bwd_cum[x] = number of backward branches among positions [0, x).
+    bwd_cum = np.concatenate(
+        ([0], np.cumsum(trace.is_backward.astype(np.int64)))
+    ).tolist()
+
+    branches: Dict[int, BranchCorrelationData] = {}
+    instance_counters: Dict[int, int] = {}
+    trace_index_lists: Dict[int, array] = {}
+    outcome_lists: Dict[int, array] = {}
+    tag_tables: Dict[int, Dict[TagKey, array]] = {}
+
+    for i in range(n):
+        current_pc = pcs[i]
+        instance_index = instance_counters.get(current_pc, 0)
+        instance_counters[current_pc] = instance_index + 1
+        table = tag_tables.get(current_pc)
+        if table is None:
+            table = {}
+            tag_tables[current_pc] = table
+            trace_index_lists[current_pc] = array("q")
+            outcome_lists[current_pc] = array("b")
+        trace_index_lists[current_pc].append(i)
+        outcome_lists[current_pc].append(takens[i])
+
+        occurrence_counts: Dict[int, int] = {}
+        seen_backward = set()
+        bwd_before_i = bwd_cum[i]
+        deepest = min(i, window)
+        for depth in range(1, deepest + 1):
+            j = i - depth
+            prior_pc = pcs[j]
+            prior_outcome = takens[j]
+            occurrence = occurrence_counts.get(prior_pc, 0)
+            occurrence_counts[prior_pc] = occurrence + 1
+            packed = _pack(instance_index, depth, prior_outcome)
+            occ_tag = (TAG_OCCURRENCE, prior_pc, occurrence)
+            entries = table.get(occ_tag)
+            if entries is None:
+                table[occ_tag] = array("q", (packed,))
+            else:
+                entries.append(packed)
+            # Backward branches strictly between the tagged branch and
+            # the current branch: positions j+1 .. i-1.
+            backward_count = bwd_before_i - bwd_cum[j + 1]
+            bwd_key = (prior_pc, backward_count)
+            if bwd_key not in seen_backward:
+                seen_backward.add(bwd_key)
+                bwd_tag = (TAG_BACKWARD, prior_pc, backward_count)
+                entries = table.get(bwd_tag)
+                if entries is None:
+                    table[bwd_tag] = array("q", (packed,))
+                else:
+                    entries.append(packed)
+
+    for pc, table in tag_tables.items():
+        branches[pc] = BranchCorrelationData(
+            pc=pc,
+            trace_indices=np.frombuffer(trace_index_lists[pc], dtype=np.int64),
+            outcomes=np.frombuffer(outcome_lists[pc], dtype=np.int8).astype(bool),
+            tag_entries=table,
+        )
+    return CorrelationData(window=window, trace_length=n, branches=branches)

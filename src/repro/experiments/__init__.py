@@ -1,0 +1,37 @@
+"""Experiment suite: one module per table/figure of the paper.
+
+Every experiment consumes a dict of per-benchmark
+:class:`~repro.analysis.runner.Lab` objects (so simulations are shared)
+and produces a result object with a ``render()`` text report mirroring
+the paper's table or figure.
+
+========== ==================================================== =========================
+id          paper artefact                                       module
+========== ==================================================== =========================
+``table1``  Table 1: benchmark summary                           :mod:`repro.experiments.table1`
+``fig4``    Fig 4: selective history vs gshare                   :mod:`repro.experiments.fig4`
+``fig5``    Fig 5: accuracy vs history length                    :mod:`repro.experiments.fig5`
+``table2``  Table 2: gshare w/ and w/o added correlation         :mod:`repro.experiments.table2`
+``fig6``    Fig 6: per-address class distribution                :mod:`repro.experiments.fig6`
+``table3``  Table 3: PAs w/ and w/o loop enhancement             :mod:`repro.experiments.table3`
+``fig7``    Fig 7: best of gshare / PAs / ideal static           :mod:`repro.experiments.fig7`
+``fig8``    Fig 8: best of global / per-address / static classes :mod:`repro.experiments.fig8`
+``fig9``    Fig 9: gshare - PAs accuracy percentiles             :mod:`repro.experiments.fig9`
+========== ==================================================== =========================
+"""
+
+from repro.experiments.base import (
+    EXPERIMENT_IDS,
+    EXTENSION_IDS,
+    ExperimentResult,
+    build_labs,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "EXTENSION_IDS",
+    "ExperimentResult",
+    "build_labs",
+    "run_experiment",
+]

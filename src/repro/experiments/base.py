@@ -1,0 +1,126 @@
+"""Experiment protocol, registry, and lab construction."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional
+
+from repro.analysis.config import DEFAULT_CONFIG, LabConfig
+from repro.analysis.runner import Lab
+from repro.workloads.suite import BENCHMARK_NAMES, load_benchmark, scaled_length
+
+
+class ExperimentResult(abc.ABC):
+    """Base class for experiment results.
+
+    Subclasses are dataclasses holding the measured numbers; ``render()``
+    produces the monospace report mirroring the paper's artefact.
+    """
+
+    #: Experiment id (``table1`` .. ``fig9``).
+    experiment_id: str = ""
+    #: Human-readable title matching the paper's caption.
+    title: str = ""
+
+    @abc.abstractmethod
+    def render(self) -> str:
+        """The text report for this experiment."""
+
+    def __str__(self) -> str:
+        return f"== {self.experiment_id}: {self.title} ==\n{self.render()}"
+
+
+#: Registered experiment runners, keyed by experiment id.
+_REGISTRY: Dict[str, Callable[[Dict[str, Lab]], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator registering an experiment runner under an id."""
+
+    def decorate(runner: Callable[[Dict[str, Lab]], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = runner
+        return runner
+
+    return decorate
+
+
+def build_labs(
+    max_length: Optional[int] = None,
+    config: LabConfig = DEFAULT_CONFIG,
+    run_seed: int = 12345,
+) -> Dict[str, Lab]:
+    """One :class:`Lab` per suite benchmark, sharing a configuration.
+
+    Args:
+        max_length: Scale anchor for the longest benchmark (defaults to
+            ``REPRO_TRACE_LENGTH`` / 200k); the others keep the paper's
+            proportions.
+        config: Predictor sizing.
+        run_seed: Workload execution seed.
+    """
+    return {
+        name: Lab(
+            load_benchmark(name, scaled_length(name, max_length), run_seed),
+            config,
+        )
+        for name in BENCHMARK_NAMES
+    }
+
+
+def run_experiment(experiment_id: str, labs: Dict[str, Lab]) -> ExperimentResult:
+    """Run one registered experiment over prebuilt labs."""
+    _ensure_registered()
+    try:
+        runner = _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+    return runner(labs)
+
+
+def _ensure_registered() -> None:
+    """Import the experiment modules so their decorators run."""
+    from repro.experiments import (  # noqa: F401
+        extensions,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        table1,
+        table2,
+        table3,
+    )
+
+
+def experiment_ids() -> tuple:
+    _ensure_registered()
+    return tuple(sorted(_REGISTRY))
+
+
+#: Stable public list of experiment ids in paper order.
+EXPERIMENT_IDS = (
+    "table1",
+    "fig4",
+    "fig5",
+    "table2",
+    "fig6",
+    "table3",
+    "fig7",
+    "fig8",
+    "fig9",
+)
+
+#: Extension experiments (beyond the paper; see experiments.extensions).
+EXTENSION_IDS = (
+    "ext_interference",
+    "ext_hybrid",
+    "ext_taxonomy",
+    "ext_profile",
+    "ext_training",
+)

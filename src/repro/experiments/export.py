@@ -1,0 +1,59 @@
+"""JSON export of experiment results.
+
+Experiment results are nested dataclasses containing numpy arrays and
+tuples keyed by ints; this module converts any of them into plain JSON
+types so the reproduced numbers can be fed to external plotting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a result payload to JSON-encodable types."""
+    if isinstance(value, ExperimentResult):
+        payload = {
+            "experiment_id": value.experiment_id,
+            "title": value.title,
+        }
+        for field in dataclasses.fields(value):
+            payload[field.name] = to_jsonable(getattr(value, field.name))
+        return payload
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot export value of type {type(value).__name__}")
+
+
+def export_results(results: Dict[str, ExperimentResult], path: str) -> None:
+    """Write a map of experiment results to ``path`` as JSON."""
+    payload = {
+        experiment_id: to_jsonable(result)
+        for experiment_id, result in results.items()
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,82 @@
+"""Figure 4: selective history vs gshare and interference-free gshare.
+
+For each benchmark, the prediction accuracy of the oracle selective
+history of 1, 2 and 3 branches (section 3.4), compared with an
+interference-free gshare and a regular gshare.  The paper's headline:
+three oracle-chosen branches nearly match the interference-free gshare
+that uses all 16 recent outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.runner import Lab
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.report import format_table
+
+
+@dataclass
+class Fig4Row:
+    benchmark: str
+    selective_1: float
+    selective_2: float
+    selective_3: float
+    if_gshare: float
+    gshare: float
+
+
+@dataclass
+class Fig4Result(ExperimentResult):
+    rows: Dict[str, Fig4Row]
+
+    experiment_id = "fig4"
+    title = "Selective history vs gshare and interference-free gshare"
+
+    def render(self) -> str:
+        table = format_table(
+            (
+                "benchmark",
+                "IF 1-branch",
+                "IF 2-branch",
+                "IF 3-branch",
+                "IF gshare",
+                "gshare",
+            ),
+            [
+                (
+                    row.benchmark,
+                    row.selective_1,
+                    row.selective_2,
+                    row.selective_3,
+                    row.if_gshare,
+                    row.gshare,
+                )
+                for row in self.rows.values()
+            ],
+        )
+        closeness = max(
+            row.if_gshare - row.selective_3 for row in self.rows.values()
+        )
+        return (
+            f"{table}\n"
+            f"largest IF-gshare advantage over 3-branch selective: "
+            f"{closeness:.2f} points"
+        )
+
+
+@register("fig4")
+def run(labs: Dict[str, Lab]) -> Fig4Result:
+    """Measure the five figure-4 series per benchmark."""
+    rows = {}
+    for name, lab in labs.items():
+        rows[name] = Fig4Row(
+            benchmark=name,
+            selective_1=lab.selective_accuracy(1) * 100,
+            selective_2=lab.selective_accuracy(2) * 100,
+            selective_3=lab.selective_accuracy(3) * 100,
+            if_gshare=lab.accuracy("if_gshare") * 100,
+            gshare=lab.accuracy("gshare") * 100,
+        )
+    return Fig4Result(rows=rows)

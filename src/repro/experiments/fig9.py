@@ -1,0 +1,71 @@
+"""Figure 9: the percentile curve of gshare minus PAs accuracy.
+
+Every dynamic branch contributes the accuracy difference of its static
+branch; the sorted, dynamic-weighted distribution is plotted against
+percentiles.  Fat tails on both sides -- many branches where PAs is far
+better AND many where gshare is far better -- are the paper's argument
+for hybrid predictors.  The paper plots gcc (fat tails) and perl
+(representative of the rest); we compute every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.percentile import PercentileCurve, percentile_difference_curve
+from repro.analysis.runner import Lab
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.report import format_line_chart, format_table
+
+
+@dataclass
+class Fig9Result(ExperimentResult):
+    curves: Dict[str, PercentileCurve]
+
+    experiment_id = "fig9"
+    title = "Difference between gshare and PAs accuracy (percentile curve)"
+
+    def render(self) -> str:
+        sample_points = (0, 5, 10, 25, 50, 75, 90, 95, 100)
+        headers = ("benchmark",) + tuple(f"p{p}" for p in sample_points) + (
+            "PAs-better area",
+            "gshare-better area",
+        )
+        rows = []
+        for name, curve in self.curves.items():
+            rows.append(
+                (name,)
+                + tuple(curve.tail(p) for p in sample_points)
+                + (curve.area_b_better(), curve.area_a_better())
+            )
+        table = format_table(headers, rows)
+        plotted = {
+            name: list(zip(curve.percentiles, curve.differences))
+            for name, curve in self.curves.items()
+            if name in ("gcc", "perl")
+        } or {
+            name: list(zip(curve.percentiles, curve.differences))
+            for name, curve in list(self.curves.items())[:2]
+        }
+        chart = format_line_chart(
+            plotted,
+            y_label="gshare accuracy - PAs accuracy (points) vs percentile "
+            "of dynamic branches",
+        )
+        return (
+            f"{table}\n\n{chart}\n"
+            "negative = PAs better, positive = gshare better "
+            "(percentage points; paper plots gcc and perl)"
+        )
+
+
+@register("fig9")
+def run(labs: Dict[str, Lab]) -> Fig9Result:
+    """Percentile curves of gshare - PAs for every benchmark."""
+    curves = {}
+    for name, lab in labs.items():
+        curves[name] = percentile_difference_curve(
+            lab.trace, lab.correct("gshare"), lab.correct("pas")
+        )
+    return Fig9Result(curves=curves)

@@ -1,0 +1,165 @@
+"""Text rendering helpers shared by the experiment modules.
+
+The paper's artefacts are tables and bar/line charts; we render both as
+monospace text so results print in a terminal and diff cleanly in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Abbreviations used along the paper's figure x-axes.
+SHORT_NAMES = {
+    "compress": "com",
+    "gcc": "gcc",
+    "go": "go",
+    "ijpeg": "ijp",
+    "m88ksim": "m88",
+    "perl": "per",
+    "vortex": "vor",
+    "xlisp": "xli",
+}
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A simple aligned monospace table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row width {len(row)} does not match header width {columns}"
+            )
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [max(len(line[i]) for line in cells) for i in range(columns)]
+    out: List[str] = []
+    for line_index, line in enumerate(cells):
+        out.append(
+            "  ".join(value.rjust(widths[i]) for i, value in enumerate(line))
+        )
+        if line_index == 0:
+            out.append("  ".join("-" * widths[i] for i in range(columns)))
+    return "\n".join(out)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_bar_chart(
+    series: Dict[str, Dict[str, float]],
+    width: int = 50,
+    unit: str = "%",
+) -> str:
+    """Horizontal text bars: one group per benchmark, one bar per series.
+
+    Args:
+        series: benchmark -> {label: value in [0, 100]}.
+        width: Character width of a full-scale (100) bar.
+        unit: Suffix printed after each value.
+    """
+    out: List[str] = []
+    label_width = max(
+        (len(label) for values in series.values() for label in values),
+        default=0,
+    )
+    for benchmark, values in series.items():
+        out.append(f"{benchmark}:")
+        for label, value in values.items():
+            bar = "#" * max(0, round(value / 100.0 * width))
+            out.append(
+                f"  {label.ljust(label_width)} |{bar} {value:.1f}{unit}"
+            )
+    return "\n".join(out)
+
+
+def format_stacked_fractions(
+    fractions_by_benchmark: Dict[str, Dict[str, float]],
+    order: Sequence[str],
+    width: int = 60,
+) -> str:
+    """A 100%-stacked text bar per benchmark (figures 6-8).
+
+    Args:
+        fractions_by_benchmark: benchmark -> {label: fraction in [0, 1]}.
+        order: Label order (bottom-to-top in the paper's stacks).
+        width: Total character width of the stack.
+    """
+    glyphs = ["#", "=", ".", "o", "+", "~"]
+    out: List[str] = []
+    legend = ", ".join(
+        f"{glyphs[i % len(glyphs)]}={label}" for i, label in enumerate(order)
+    )
+    out.append(f"legend: {legend}")
+    name_width = max((len(name) for name in fractions_by_benchmark), default=0)
+    for benchmark, fractions in fractions_by_benchmark.items():
+        bar = ""
+        for i, label in enumerate(order):
+            segment = round(fractions.get(label, 0.0) * width)
+            bar += glyphs[i % len(glyphs)] * segment
+        values = "  ".join(
+            f"{label}={fractions.get(label, 0.0) * 100:.1f}%" for label in order
+        )
+        out.append(f"{benchmark.ljust(name_width)} |{bar:<{width}}| {values}")
+    return "\n".join(out)
+
+
+def format_line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    height: int = 12,
+    width: int = 60,
+    y_label: str = "",
+) -> str:
+    """A monospace 2D line chart: one glyph per series.
+
+    Args:
+        series: label -> [(x, y), ...] points (x ascending).
+        height: Plot rows.
+        width: Plot columns.
+        y_label: Axis annotation printed above the plot.
+    """
+    glyphs = "ox+*#@"
+    all_points = [p for points in series.values() for p in points]
+    if not all_points:
+        return "(no data)"
+    xs = [x for x, _y in all_points]
+    ys = [y for _x, y in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, points in enumerate(series.values()):
+        glyph = glyphs[series_index % len(glyphs)]
+        for x, y in points:
+            column = round((x - x_low) / x_span * (width - 1))
+            row = height - 1 - round((y - y_low) / y_span * (height - 1))
+            grid[row][column] = glyph
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            margin = f"{y_high:8.1f} |"
+        elif row_index == height - 1:
+            margin = f"{y_low:8.1f} |"
+        else:
+            margin = " " * 8 + " |"
+        lines.append(margin + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f" {x_low:<10.4g}" + " " * max(0, width - 22) + f"{x_high:>10.4g}"
+    )
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

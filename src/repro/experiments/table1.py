@@ -1,0 +1,74 @@
+"""Table 1: the benchmark suite summary.
+
+The paper lists each SPECint95 benchmark, its input set, and the number
+of dynamic conditional branches simulated; we add the scaled trace length
+and the static branch count of the analogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.runner import Lab
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.report import format_table
+from repro.workloads.suite import PAPER_BRANCH_COUNTS, PAPER_INPUTS
+
+
+@dataclass
+class Table1Row:
+    benchmark: str
+    paper_input: str
+    paper_branches: int
+    trace_length: int
+    static_branches: int
+    taken_rate: float
+
+
+@dataclass
+class Table1Result(ExperimentResult):
+    rows: Dict[str, Table1Row]
+
+    experiment_id = "table1"
+    title = "Summary of the SPECint95 benchmark analogues"
+
+    def render(self) -> str:
+        return format_table(
+            (
+                "benchmark",
+                "paper input",
+                "paper #branches",
+                "our #branches",
+                "static",
+                "taken rate",
+            ),
+            [
+                (
+                    row.benchmark,
+                    row.paper_input,
+                    row.paper_branches,
+                    row.trace_length,
+                    row.static_branches,
+                    row.taken_rate,
+                )
+                for row in self.rows.values()
+            ],
+        )
+
+
+@register("table1")
+def run(labs: Dict[str, Lab]) -> Table1Result:
+    """Build Table 1 from the suite labs."""
+    rows = {}
+    for name, lab in labs.items():
+        stats = lab.stats
+        rows[name] = Table1Row(
+            benchmark=name,
+            paper_input=PAPER_INPUTS.get(name, "-"),
+            paper_branches=PAPER_BRANCH_COUNTS.get(name, 0),
+            trace_length=stats.num_dynamic,
+            static_branches=stats.num_static,
+            taken_rate=stats.taken_rate,
+        )
+    return Table1Result(rows=rows)

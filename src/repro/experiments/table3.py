@@ -1,0 +1,104 @@
+"""Table 3: loop behaviour PAs fails to capture.
+
+The hypothetical "PAs w/ Loop" predictor uses the section-4.1.1 loop
+predictor for every branch *classified* loop-type and PAs for the rest.
+The gain quantifies how much loop behaviour PAs misses; even an
+interference-free PAs cannot predict the exits of loops longer than its
+history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.accuracy import misprediction_reduction
+from repro.analysis.runner import Lab
+from repro.classify.per_address import classify_per_address
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.paper_reference import TABLE3
+from repro.experiments.report import format_table
+from repro.predictors.hybrid import OracleCombiner
+
+
+@dataclass
+class Table3Row:
+    benchmark: str
+    pas: float
+    pas_with_loop: float
+    if_pas: float
+    if_pas_with_loop: float
+
+    @property
+    def gain(self) -> float:
+        return self.pas_with_loop - self.pas
+
+    @property
+    def if_gain(self) -> float:
+        return self.if_pas_with_loop - self.if_pas
+
+
+@dataclass
+class Table3Result(ExperimentResult):
+    rows: Dict[str, Table3Row]
+
+    experiment_id = "table3"
+    title = "Prediction accuracy of PAs with and without loop enhancement"
+
+    def render(self) -> str:
+        table = format_table(
+            (
+                "benchmark",
+                "PAs",
+                "PAs w/ Loop",
+                "IF PAs",
+                "IF PAs w/ Loop",
+                "gain",
+                "IF gain",
+                "misp. reduction",
+            ),
+            [
+                (
+                    row.benchmark,
+                    row.pas,
+                    row.pas_with_loop,
+                    row.if_pas,
+                    row.if_pas_with_loop,
+                    row.gain,
+                    row.if_gain,
+                    f"{misprediction_reduction(row.pas / 100, row.pas_with_loop / 100) * 100:.1f}%",
+                )
+                for row in self.rows.values()
+            ],
+        )
+        paper = format_table(
+            ("benchmark", "PAs", "w/ Loop", "IF PAs", "IF w/ Loop"),
+            [(name,) + TABLE3[name] for name in self.rows if name in TABLE3],
+        )
+        return f"{table}\n\npaper's Table 3 for reference:\n{paper}"
+
+
+@register("table3")
+def run(labs: Dict[str, Lab]) -> Table3Result:
+    """Build the loop combiner against PAs and IF-PAs per benchmark."""
+    rows = {}
+    for name, lab in labs.items():
+        trace = lab.trace
+        loop_members = classify_per_address(lab).members("loop")
+        loop_correct = lab.correct("loop")
+        pas = lab.correct("pas")
+        if_pas = lab.correct("if_pas")
+        combined = OracleCombiner.combine_with_mask(
+            trace, pas, loop_correct, loop_members
+        )
+        if_combined = OracleCombiner.combine_with_mask(
+            trace, if_pas, loop_correct, loop_members
+        )
+        rows[name] = Table3Row(
+            benchmark=name,
+            pas=float(pas.mean()) * 100,
+            pas_with_loop=float(combined.mean()) * 100,
+            if_pas=float(if_pas.mean()) * 100,
+            if_pas_with_loop=float(if_combined.mean()) * 100,
+        )
+    return Table3Result(rows=rows)

@@ -1,0 +1,92 @@
+"""Branch predictors.
+
+Every predictor the paper uses or references is implemented here:
+
+* :mod:`~repro.predictors.counters` -- n-bit saturating up-down counters
+  and pattern-history-table (PHT) storage.
+* :mod:`~repro.predictors.static_` -- static schemes, including the
+  paper's per-branch-majority "ideal static" predictor.
+* :mod:`~repro.predictors.bimodal` -- Smith's 2-bit counter predictor.
+* :mod:`~repro.predictors.twolevel` -- the Yeh/Patt two-level family
+  (GAs, GAp, gshare, PAs, PAp) with configurable history and PHT sizes.
+* :mod:`~repro.predictors.interference_free` -- interference-free gshare
+  and PAs (one PHT per static branch), as used by the paper's analyses.
+* :mod:`~repro.predictors.path` -- Nair-style path-history predictor.
+* :mod:`~repro.predictors.loop` -- the loop predictor of section 4.1.1.
+* :mod:`~repro.predictors.pattern` -- fixed-length-k and block-pattern
+  predictors of section 4.1.2.
+* :mod:`~repro.predictors.selective` -- the oracle selective-history
+  predictor of section 3.4.
+* :mod:`~repro.predictors.hybrid` -- McFarling chooser hybrids and the
+  oracle per-branch combiners behind Tables 2 and 3.
+* :mod:`~repro.predictors.profile_based` -- the section-2.2 related-work
+  schemes: statically-determined PHTs (Sechrest/Young) and Chang's
+  branch-classification hybrid.
+"""
+
+from repro.predictors.base import BranchPredictor, simulate
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.counters import CounterTable, SaturatingCounter
+from repro.predictors.hybrid import ChooserHybrid, OracleCombiner
+from repro.predictors.interference_free import (
+    InterferenceFreeGshare,
+    InterferenceFreePAs,
+)
+from repro.predictors.loop import LoopPredictor
+from repro.predictors.path import PathBasedPredictor
+from repro.predictors.pattern import (
+    BlockPatternPredictor,
+    FixedLengthPatternPredictor,
+    best_fixed_length_correct,
+)
+from repro.predictors.profile_based import (
+    BranchClassificationHybrid,
+    StaticPhtGlobal,
+    StaticPhtPAs,
+)
+from repro.predictors.skewed import SkewedPredictor
+from repro.predictors.static_ import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BackwardTakenPredictor,
+    IdealStaticPredictor,
+    ProfileStaticPredictor,
+)
+from repro.predictors.twolevel import (
+    GAgPredictor,
+    GAsPredictor,
+    GsharePredictor,
+    PAgPredictor,
+    PAsPredictor,
+)
+
+__all__ = [
+    "AlwaysNotTakenPredictor",
+    "AlwaysTakenPredictor",
+    "BackwardTakenPredictor",
+    "BimodalPredictor",
+    "BlockPatternPredictor",
+    "BranchClassificationHybrid",
+    "BranchPredictor",
+    "ChooserHybrid",
+    "CounterTable",
+    "FixedLengthPatternPredictor",
+    "GAgPredictor",
+    "GAsPredictor",
+    "GsharePredictor",
+    "IdealStaticPredictor",
+    "InterferenceFreeGshare",
+    "InterferenceFreePAs",
+    "LoopPredictor",
+    "OracleCombiner",
+    "PAgPredictor",
+    "PAsPredictor",
+    "PathBasedPredictor",
+    "ProfileStaticPredictor",
+    "SaturatingCounter",
+    "SkewedPredictor",
+    "StaticPhtGlobal",
+    "StaticPhtPAs",
+    "best_fixed_length_correct",
+    "simulate",
+]

@@ -1,0 +1,83 @@
+"""Predictor interface and the trace-driven simulation loop.
+
+Predictors follow the paper's trace-driven regime: for each dynamic branch
+the predictor is asked for a direction, then immediately trained with the
+resolved outcome (no speculative-update modelling; the paper's simulator is
+likewise a pure trace-driven direction-prediction study).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+
+class BranchPredictor(abc.ABC):
+    """Abstract trace-driven branch direction predictor."""
+
+    #: Human-readable predictor name used in experiment reports.
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def predict(self, pc: int, target: int) -> bool:
+        """Predict the direction of the branch at ``pc``.
+
+        Args:
+            pc: Branch address.
+            target: Taken-target address (used only by predictors that
+                care about branch direction in the static sense, e.g.
+                BTFNT; dynamic predictors ignore it).
+
+        Returns:
+            True for taken.
+        """
+
+    @abc.abstractmethod
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        """Train the predictor with the resolved outcome."""
+
+    def simulate(self, trace: Trace) -> np.ndarray:
+        """Run predict/update over ``trace``; return a correctness bitmap.
+
+        Subclasses with a whole-trace fast path (vectorised or
+        run-length-based) override this; the default is the generic
+        per-branch loop.
+        """
+        return simulate(self, trace)
+
+    def accuracy(self, trace: Trace) -> float:
+        """Convenience: fraction of correct predictions over ``trace``."""
+        if not len(trace):
+            return 0.0
+        return float(self.simulate(trace).mean())
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def simulate(predictor: BranchPredictor, trace: Trace) -> np.ndarray:
+    """Drive ``predictor`` over ``trace``, predict-then-update per branch.
+
+    Returns:
+        Boolean array, one entry per dynamic branch, True where the
+        prediction matched the outcome.  Per-branch bitmaps (rather than a
+        single accuracy number) are the substrate for every classification
+        experiment in sections 4 and 5.
+    """
+    n = len(trace)
+    correct = np.zeros(n, dtype=bool)
+    pc_col = trace.pc
+    target_col = trace.target
+    taken_col = trace.taken
+    predict = predictor.predict
+    update = predictor.update
+    for i in range(n):
+        pc = int(pc_col[i])
+        target = int(target_col[i])
+        taken = bool(taken_col[i])
+        correct[i] = predict(pc, target) == taken
+        update(pc, target, taken)
+    return correct

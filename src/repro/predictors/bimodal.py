@@ -1,0 +1,37 @@
+"""Smith's bimodal predictor: a table of 2-bit saturating counters.
+
+Each branch maps via the low bits of its address to a counter; the counter
+MSB gives the prediction (Smith 81, section 2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import CounterTable
+
+
+class BimodalPredictor(BranchPredictor):
+    """Address-indexed saturating-counter predictor.
+
+    Args:
+        table_bits: log2 of the counter-table size (default 12 -> 4096
+            counters).
+        counter_bits: Counter width; 2 in the paper.
+    """
+
+    def __init__(self, table_bits: int = 12, counter_bits: int = 2) -> None:
+        if table_bits < 0:
+            raise ValueError(f"table_bits must be >= 0, got {table_bits}")
+        self._mask = (1 << table_bits) - 1
+        self._table = CounterTable(1 << table_bits, bits=counter_bits)
+        self.name = f"bimodal-{table_bits}b"
+
+    def _index(self, pc: int) -> int:
+        # Drop the 4-byte alignment bits (standard address indexing).
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int, target: int) -> bool:
+        return self._table.predict(self._index(pc))
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        self._table.update(self._index(pc), taken)

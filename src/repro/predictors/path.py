@@ -1,0 +1,115 @@
+"""Nair-style path-based predictor.
+
+Nair proposed indexing the PHT with a hash of the *addresses* of the last
+few branches (the path) instead of their outcomes (the pattern).  The
+paper cites this (section 2.1) as exploiting in-path correlation more
+directly: the path identifies *which* branches led here, not just how they
+resolved.  Included as the path-history point of comparison for the
+in-path correlation analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import BranchPredictor
+from repro.trace.trace import Trace
+
+
+class PathBasedPredictor(BranchPredictor):
+    """Two-level predictor indexed by a hashed path history.
+
+    The path register keeps the low ``bits_per_address`` bits of the last
+    ``depth`` control-flow destinations, concatenated into a shift
+    register; the register XORed with the current branch address selects a
+    2-bit counter in the PHT.
+
+    Args:
+        depth: Number of recent path elements in the register.
+        bits_per_address: Address bits captured per path element (Nair's
+            scheme truncates addresses; full addresses would need an
+            impractically wide register -- the imperfect-path
+            representation the paper mentions).
+        pht_bits: log2 of the PHT size.
+        counter_bits: Counter width.
+    """
+
+    def __init__(
+        self,
+        depth: int = 8,
+        bits_per_address: int = 2,
+        pht_bits: int = 16,
+        counter_bits: int = 2,
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if bits_per_address < 1:
+            raise ValueError(
+                f"bits_per_address must be >= 1, got {bits_per_address}"
+            )
+        self._bits_per_address = bits_per_address
+        self._addr_mask = (1 << bits_per_address) - 1
+        self._register_mask = (1 << (bits_per_address * depth)) - 1
+        self._pht_mask = (1 << pht_bits) - 1
+        self._counter_max = (1 << counter_bits) - 1
+        self._threshold = 1 << (counter_bits - 1)
+        initial = self._threshold
+        self._pht = np.full(1 << pht_bits, initial, dtype=np.int8)
+        self._path_register = 0
+        self.name = f"path-{depth}d-{bits_per_address}b"
+
+    def _index(self, pc: int) -> int:
+        return (self._path_register ^ (pc >> 2)) & self._pht_mask
+
+    def _shift_path(self, pc: int, target: int, taken: bool) -> None:
+        # The path records where control went: the taken target or the
+        # fall-through, with alignment bits dropped.
+        element = ((target >> 2) if taken else (pc >> 2) + 1) & self._addr_mask
+        self._path_register = (
+            (self._path_register << self._bits_per_address) | element
+        ) & self._register_mask
+
+    def predict(self, pc: int, target: int) -> bool:
+        return bool(self._pht[self._index(pc)] >= self._threshold)
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        index = self._index(pc)
+        value = self._pht[index]
+        if taken:
+            if value < self._counter_max:
+                self._pht[index] = value + 1
+        elif value > 0:
+            self._pht[index] = value - 1
+        self._shift_path(pc, target, taken)
+
+    def simulate(self, trace: Trace) -> np.ndarray:
+        """Tight-loop fast path; state transitions match predict/update."""
+        n = len(trace)
+        correct = np.zeros(n, dtype=bool)
+        pht = self._pht.tolist()
+        pht_mask = self._pht_mask
+        addr_mask = self._addr_mask
+        register_mask = self._register_mask
+        bits = self._bits_per_address
+        counter_max = self._counter_max
+        threshold = self._threshold
+        path_register = self._path_register
+        pcs = (trace.pc >> 2).tolist()
+        targets = trace.target.tolist()
+        takens = trace.taken.tolist()
+        for i in range(n):
+            pc = pcs[i]
+            taken = takens[i]
+            index = (path_register ^ pc) & pht_mask  # pcs pre-shifted
+            value = pht[index]
+            correct[i] = (value >= threshold) == taken
+            if taken:
+                if value < counter_max:
+                    pht[index] = value + 1
+            elif value > 0:
+                pht[index] = value - 1
+            element = ((targets[i] >> 2) if taken else pc + 1) & addr_mask
+            path_register = ((path_register << bits) | element) & register_mask
+        self._pht = np.asarray(pht, dtype=np.int8)
+        self._path_register = path_register
+        return correct

@@ -1,0 +1,180 @@
+"""Repeating-pattern predictors of section 4.1.2.
+
+Two subsets:
+
+* **Fixed-length patterns** -- a branch repeating an arbitrary outcome
+  pattern of length ``k`` has the same outcome as ``k`` executions ago.
+  The paper simulates 32 predictors (k = 1..32) and scores each branch by
+  the best of them.
+* **Block patterns** -- taken ``n`` times, then not-taken ``m`` times,
+  repeating.  The predictor tracks the previous run length of each
+  direction in a perfect BTB and predicts a run of the same length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.predictors.base import BranchPredictor
+from repro.trace.trace import Trace
+
+#: Largest fixed pattern length the paper examines.
+MAX_PATTERN_LENGTH = 32
+
+#: Run lengths are capped below 256, as in the loop predictor.
+MAX_RUN_LENGTH = 255
+
+
+class FixedLengthPatternPredictor(BranchPredictor):
+    """Predict the same direction the branch took ``k`` executions ago.
+
+    Per-branch outcome queues live in a perfect BTB (unbounded dict).
+    Until ``k`` outcomes have been observed for a branch, the predictor
+    falls back to predicting taken.
+
+    Args:
+        k: Pattern length; 1 <= k <= :data:`MAX_PATTERN_LENGTH`.
+    """
+
+    def __init__(self, k: int) -> None:
+        if not 1 <= k <= MAX_PATTERN_LENGTH:
+            raise ValueError(
+                f"pattern length must be in [1, {MAX_PATTERN_LENGTH}], got {k}"
+            )
+        self._k = k
+        # pc -> (ring buffer of the last k outcomes, next write position,
+        #        count of outcomes seen)
+        self._state: Dict[int, Tuple[list, int, int]] = {}
+        self.name = f"fixed-{k}"
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def predict(self, pc: int, target: int) -> bool:
+        state = self._state.get(pc)
+        if state is None or state[2] < self._k:
+            return True
+        ring, position, _count = state
+        # The outcome from exactly k executions ago is the next slot to be
+        # overwritten.
+        return ring[position]
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        state = self._state.get(pc)
+        if state is None:
+            ring = [False] * self._k
+            ring[0] = taken
+            self._state[pc] = (ring, 1 % self._k, 1)
+            return
+        ring, position, count = state
+        ring[position] = taken
+        self._state[pc] = (ring, (position + 1) % self._k, count + 1)
+
+
+def fixed_length_correct(trace: Trace, k: int) -> np.ndarray:
+    """Vectorised correctness bitmap of the fixed-length-``k`` predictor.
+
+    For each static branch, prediction i (i >= k) is outcome i-k; the
+    first k predictions fall back to taken.  Equivalent to simulating
+    :class:`FixedLengthPatternPredictor` but runs as numpy comparisons.
+    """
+    correct = np.zeros(len(trace), dtype=bool)
+    for indices in trace.indices_by_pc().values():
+        outcomes = trace.taken[indices]
+        branch_correct = np.empty(len(outcomes), dtype=bool)
+        branch_correct[:k] = outcomes[:k]  # fallback: predict taken
+        if len(outcomes) > k:
+            branch_correct[k:] = outcomes[k:] == outcomes[:-k]
+        correct[indices] = branch_correct
+    return correct
+
+
+def best_fixed_length_correct(
+    trace: Trace, max_k: int = MAX_PATTERN_LENGTH
+) -> np.ndarray:
+    """Best-of-k fixed-length correctness, per static branch.
+
+    The paper runs all 32 fixed-length predictors and uses, for each
+    branch, the accuracy of the best one.  Returns the correctness bitmap
+    where each branch's instances use its individually best ``k``.
+    """
+    correct = np.zeros(len(trace), dtype=bool)
+    for pc, indices in trace.indices_by_pc().items():
+        outcomes = trace.taken[indices]
+        n = len(outcomes)
+        best_bitmap = None
+        best_count = -1
+        for k in range(1, max_k + 1):
+            bitmap = np.empty(n, dtype=bool)
+            bitmap[:k] = outcomes[:k]
+            if n > k:
+                bitmap[k:] = outcomes[k:] == outcomes[:-k]
+            count = int(bitmap.sum())
+            if count > best_count:
+                best_count = count
+                best_bitmap = bitmap
+        correct[indices] = best_bitmap
+    return correct
+
+
+class _BlockEntry:
+    """Per-branch block-pattern state (one perfect-BTB entry)."""
+
+    __slots__ = ("current_direction", "run_length", "previous_run")
+
+    def __init__(self, first_outcome: bool) -> None:
+        self.current_direction = first_outcome
+        self.run_length = 1
+        # previous_run[d]: length of the last completed run of direction d.
+        # Unknown runs saturate so the predictor keeps predicting the
+        # current direction until it learns the block lengths.
+        self.previous_run = {True: MAX_RUN_LENGTH, False: MAX_RUN_LENGTH}
+
+    def predict(self) -> bool:
+        if self.run_length < self.previous_run[self.current_direction]:
+            return self.current_direction
+        return not self.current_direction
+
+    def update(self, taken: bool) -> None:
+        if taken == self.current_direction:
+            if self.run_length < MAX_RUN_LENGTH:
+                self.run_length += 1
+        else:
+            self.previous_run[self.current_direction] = self.run_length
+            self.current_direction = taken
+            self.run_length = 1
+
+
+class BlockPatternPredictor(BranchPredictor):
+    """Block-pattern predictor: n taken, m not-taken, repeating.
+
+    After the n-th consecutive taken outcome the branch is predicted
+    not-taken for the m observed on the previous not-taken block, and
+    symmetrically (section 4.1.2).  Counts are capped below 256 and kept
+    in a perfect BTB.
+    """
+
+    name = "block-pattern"
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, _BlockEntry] = {}
+
+    def predict(self, pc: int, target: int) -> bool:
+        entry = self._entries.get(pc)
+        if entry is None:
+            return True
+        return entry.predict()
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        entry = self._entries.get(pc)
+        if entry is None:
+            self._entries[pc] = _BlockEntry(taken)
+        else:
+            entry.update(taken)
+
+    def btb_size(self) -> int:
+        """Number of perfect-BTB entries allocated so far."""
+        return len(self._entries)

@@ -1,0 +1,207 @@
+"""Profile-based predictors from the paper's related work (section 2.2).
+
+* Sechrest et al. found that, for per-address predictors with short
+  histories, *statically determined* PHT contents perform on par with
+  adaptive 2-bit counters; Young et al. report the same for global
+  predictors when profiling and testing on the same input.
+  :class:`StaticPhtPAs` and :class:`StaticPhtGlobal` implement those
+  schemes: the second level is filled by profiling (per-pattern majority)
+  and never adapts.
+* Chang et al. proposed branch classification: strongly biased branches
+  (by profiled taken rate) use a static prediction, the rest a dynamic
+  predictor.  :class:`BranchClassificationHybrid` implements it around
+  any dynamic component.
+
+All three are *profile-driven*: ``fit`` consumes a profiling trace;
+evaluation may reuse the same trace (the papers' same-input setup) or a
+different input (a different workload ``run_seed``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.predictors.base import BranchPredictor
+from repro.trace.trace import Trace
+
+
+class StaticPhtGlobal(BranchPredictor):
+    """Global two-level predictor with a profiled, non-adaptive PHT.
+
+    During :meth:`fit`, outcomes are counted per (branch, global-history
+    pattern); prediction uses the majority direction of the profiled
+    bucket.  Buckets never seen during profiling fall back to the
+    branch's profiled overall majority, then to taken.
+
+    Args:
+        history_bits: Global history register length.
+    """
+
+    def __init__(self, history_bits: int = 8) -> None:
+        if history_bits < 0:
+            raise ValueError(f"history_bits must be >= 0, got {history_bits}")
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._directions: Optional[Dict[Tuple[int, int], bool]] = None
+        self._bias: Dict[int, bool] = {}
+        self.name = f"static-pht-global-{history_bits}h"
+
+    def fit(self, profile: Trace) -> "StaticPhtGlobal":
+        """Fill the PHT from a profiling run; returns self."""
+        counts: Dict[Tuple[int, int], int] = {}
+        totals: Dict[Tuple[int, int], int] = {}
+        bias_counts: Dict[int, int] = {}
+        bias_totals: Dict[int, int] = {}
+        history = 0
+        history_mask = self._history_mask
+        pcs = profile.pc.tolist()
+        takens = profile.taken.tolist()
+        for i in range(len(profile)):
+            pc = pcs[i]
+            taken = takens[i]
+            key = (pc, history)
+            counts[key] = counts.get(key, 0) + taken
+            totals[key] = totals.get(key, 0) + 1
+            bias_counts[pc] = bias_counts.get(pc, 0) + taken
+            bias_totals[pc] = bias_totals.get(pc, 0) + 1
+            history = ((history << 1) | taken) & history_mask
+        self._directions = {
+            key: counts[key] * 2 >= totals[key] for key in counts
+        }
+        self._bias = {
+            pc: bias_counts[pc] * 2 >= bias_totals[pc] for pc in bias_counts
+        }
+        return self
+
+    def predict(self, pc: int, target: int) -> bool:
+        if self._directions is None:
+            raise RuntimeError("StaticPhtGlobal requires fit() first")
+        direction = self._directions.get((pc, self._history))
+        if direction is None:
+            direction = self._bias.get(pc, True)
+        return direction
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        # The PHT is static; only the history register moves.
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class StaticPhtPAs(BranchPredictor):
+    """Per-address two-level predictor with a profiled, non-adaptive PHT.
+
+    The Sechrest et al. configuration: per-branch history registers with
+    statically determined second-level contents.
+
+    Args:
+        history_bits: Per-branch history register length.
+    """
+
+    def __init__(self, history_bits: int = 6) -> None:
+        if history_bits < 0:
+            raise ValueError(f"history_bits must be >= 0, got {history_bits}")
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._histories: Dict[int, int] = {}
+        self._directions: Optional[Dict[Tuple[int, int], bool]] = None
+        self._bias: Dict[int, bool] = {}
+        self.name = f"static-pht-pas-{history_bits}h"
+
+    def fit(self, profile: Trace) -> "StaticPhtPAs":
+        """Fill the PHT from a profiling run; returns self."""
+        counts: Dict[Tuple[int, int], int] = {}
+        totals: Dict[Tuple[int, int], int] = {}
+        bias_counts: Dict[int, int] = {}
+        bias_totals: Dict[int, int] = {}
+        histories: Dict[int, int] = {}
+        history_mask = self._history_mask
+        pcs = profile.pc.tolist()
+        takens = profile.taken.tolist()
+        for i in range(len(profile)):
+            pc = pcs[i]
+            taken = takens[i]
+            history = histories.get(pc, 0)
+            key = (pc, history)
+            counts[key] = counts.get(key, 0) + taken
+            totals[key] = totals.get(key, 0) + 1
+            bias_counts[pc] = bias_counts.get(pc, 0) + taken
+            bias_totals[pc] = bias_totals.get(pc, 0) + 1
+            histories[pc] = ((history << 1) | taken) & history_mask
+        self._directions = {
+            key: counts[key] * 2 >= totals[key] for key in counts
+        }
+        self._bias = {
+            pc: bias_counts[pc] * 2 >= bias_totals[pc] for pc in bias_counts
+        }
+        return self
+
+    def predict(self, pc: int, target: int) -> bool:
+        if self._directions is None:
+            raise RuntimeError("StaticPhtPAs requires fit() first")
+        history = self._histories.get(pc, 0)
+        direction = self._directions.get((pc, history))
+        if direction is None:
+            direction = self._bias.get(pc, True)
+        return direction
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        history = self._histories.get(pc, 0)
+        self._histories[pc] = ((history << 1) | int(taken)) & self._history_mask
+
+
+class BranchClassificationHybrid(BranchPredictor):
+    """Chang et al.'s branch-classification predictor.
+
+    A profiling run classifies each branch by taken rate: branches more
+    biased than ``bias_threshold`` are predicted statically in their
+    profiled direction; the rest go to the dynamic component.  Branches
+    never profiled also go to the dynamic component.
+
+    Args:
+        dynamic_component: Predictor used for weakly biased branches.
+        bias_threshold: Profiled-bias cutoff for static prediction.
+    """
+
+    def __init__(
+        self,
+        dynamic_component: BranchPredictor,
+        bias_threshold: float = 0.95,
+    ) -> None:
+        if not 0.5 <= bias_threshold <= 1.0:
+            raise ValueError(
+                f"bias_threshold must be in [0.5, 1], got {bias_threshold}"
+            )
+        self._dynamic = dynamic_component
+        self._threshold = bias_threshold
+        self._static_direction: Optional[Dict[int, bool]] = None
+        self.name = f"chang({dynamic_component.name},{bias_threshold})"
+
+    def fit(self, profile: Trace) -> "BranchClassificationHybrid":
+        """Classify branches from a profiling run; returns self."""
+        directions: Dict[int, bool] = {}
+        for pc, outcomes in profile.outcomes_by_pc().items():
+            rate = float(outcomes.mean())
+            if max(rate, 1.0 - rate) >= self._threshold:
+                directions[pc] = rate >= 0.5
+        self._static_direction = directions
+        return self
+
+    def is_static(self, pc: int) -> bool:
+        """Whether ``pc`` was classified strongly biased."""
+        if self._static_direction is None:
+            raise RuntimeError("BranchClassificationHybrid requires fit() first")
+        return pc in self._static_direction
+
+    def predict(self, pc: int, target: int) -> bool:
+        if self._static_direction is None:
+            raise RuntimeError("BranchClassificationHybrid requires fit() first")
+        direction = self._static_direction.get(pc)
+        if direction is not None:
+            return direction
+        return self._dynamic.predict(pc, target)
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        # The dynamic component trains on every branch (keeping its
+        # history global), but statically classified branches never
+        # consult it.
+        self._dynamic.update(pc, target, taken)

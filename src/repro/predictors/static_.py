@@ -1,0 +1,134 @@
+"""Static branch predictors.
+
+The paper's reference point for "unpredictable by our methods" is the
+*ideal static* predictor: for every branch, statically predict the
+direction it takes most often during the run (section 4.1).  This is the
+best any static predictor can do, hence "ideal"; it requires oracle
+(whole-run) knowledge and is therefore fit from the trace itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.predictors.base import BranchPredictor
+from repro.trace.stats import ideal_static_correct
+from repro.trace.trace import Trace
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predict every branch taken."""
+
+    name = "always-taken"
+
+    def predict(self, pc: int, target: int) -> bool:
+        return True
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        pass
+
+    def simulate(self, trace: Trace) -> np.ndarray:
+        return trace.taken.copy()
+
+
+class AlwaysNotTakenPredictor(BranchPredictor):
+    """Predict every branch not taken."""
+
+    name = "always-not-taken"
+
+    def predict(self, pc: int, target: int) -> bool:
+        return False
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        pass
+
+    def simulate(self, trace: Trace) -> np.ndarray:
+        return ~trace.taken
+
+
+class BackwardTakenPredictor(BranchPredictor):
+    """BTFNT: predict backward branches taken, forward branches not taken.
+
+    Backward branches are overwhelmingly loop-closing and therefore
+    usually taken; the heuristic is the classic static baseline (Smith 81).
+    """
+
+    name = "btfnt"
+
+    def predict(self, pc: int, target: int) -> bool:
+        return target < pc
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        pass
+
+    def simulate(self, trace: Trace) -> np.ndarray:
+        return trace.is_backward == trace.taken
+
+
+class ProfileStaticPredictor(BranchPredictor):
+    """Static predictor driven by an explicit per-branch direction profile.
+
+    Args:
+        profile: Map from branch pc to the statically-predicted direction.
+        default: Direction predicted for branches absent from the profile.
+    """
+
+    name = "profile-static"
+
+    def __init__(self, profile: Dict[int, bool], default: bool = False) -> None:
+        self._profile = dict(profile)
+        self._default = default
+
+    @classmethod
+    def from_trace(cls, trace: Trace, default: bool = False) -> "ProfileStaticPredictor":
+        """Build the majority-direction profile from a (training) trace."""
+        profile = {
+            pc: bool(outcomes.mean() >= 0.5)
+            for pc, outcomes in trace.outcomes_by_pc().items()
+        }
+        return cls(profile, default=default)
+
+    def predict(self, pc: int, target: int) -> bool:
+        return self._profile.get(pc, self._default)
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        pass
+
+
+class IdealStaticPredictor(BranchPredictor):
+    """The paper's "ideal" static predictor: per-branch run majority.
+
+    Self-profiling: :meth:`simulate` computes the majority direction of
+    each branch over the *same* trace it predicts, exactly as the paper
+    defines it.  The online :meth:`predict` interface works after
+    :meth:`fit` (or a prior :meth:`simulate`) has built the profile.
+    """
+
+    name = "ideal-static"
+
+    def __init__(self) -> None:
+        self._profile: Optional[Dict[int, bool]] = None
+
+    def fit(self, trace: Trace) -> "IdealStaticPredictor":
+        """Build the majority profile from ``trace``; returns self."""
+        self._profile = {
+            pc: bool(outcomes.mean() >= 0.5)
+            for pc, outcomes in trace.outcomes_by_pc().items()
+        }
+        return self
+
+    def predict(self, pc: int, target: int) -> bool:
+        if self._profile is None:
+            raise RuntimeError(
+                "IdealStaticPredictor.predict requires fit() or simulate() first"
+            )
+        return self._profile.get(pc, False)
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        pass
+
+    def simulate(self, trace: Trace) -> np.ndarray:
+        self.fit(trace)
+        return ideal_static_correct(trace)

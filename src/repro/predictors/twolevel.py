@@ -1,0 +1,301 @@
+"""The Yeh/Patt two-level adaptive predictor family.
+
+Two levels of history: a branch-history register (global or per-address)
+records recent outcomes; a pattern history table (PHT) of 2-bit saturating
+counters records the likely direction per history pattern.
+
+Variants implemented:
+
+* :class:`GAsPredictor` -- one global history register, PHT selected by
+  branch-address bits, pattern bits index within the PHT.
+* :class:`GsharePredictor` -- McFarling's variant: global history XORed
+  with the branch address indexes a single PHT (better PHT utilisation).
+* :class:`PAsPredictor` -- per-address history registers (a branch history
+  table indexed by address bits), PHT selected by address bits.
+* :class:`GAgPredictor` / :class:`PAgPredictor` -- the shared-PHT
+  degenerate points of the Yeh/Patt taxonomy.
+
+The taxonomy's per-address-PHT points (GAp, PAp) are the idealised
+interference-free predictors of
+:mod:`repro.predictors.interference_free`: one PHT per static branch is
+exactly a per-address second level with an unbounded table.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+
+class GsharePredictor(BranchPredictor):
+    """McFarling's gshare predictor.
+
+    Args:
+        history_bits: Global history register length (the paper's
+            reference gshare uses a 16-branch history).
+        pht_bits: log2 of the PHT size; defaults to ``history_bits`` so
+            the full history participates in the index.
+        counter_bits: PHT counter width.
+    """
+
+    def __init__(
+        self,
+        history_bits: int = 16,
+        pht_bits: int = None,
+        counter_bits: int = 2,
+    ) -> None:
+        if history_bits < 0:
+            raise ValueError(f"history_bits must be >= 0, got {history_bits}")
+        if pht_bits is None:
+            pht_bits = history_bits
+        if pht_bits < 1:
+            raise ValueError(f"pht_bits must be >= 1, got {pht_bits}")
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._pht_mask = (1 << pht_bits) - 1
+        self._counter_max = (1 << counter_bits) - 1
+        self._counter_threshold = 1 << (counter_bits - 1)
+        initial = self._counter_threshold
+        dtype = np.int8 if counter_bits <= 7 else np.int16
+        self._pht = np.full(1 << pht_bits, initial, dtype=dtype)
+        self._history = 0
+        self.name = f"gshare-{history_bits}h-{pht_bits}p"
+
+    @property
+    def history_bits(self) -> int:
+        return self._history_bits
+
+    def _index(self, pc: int) -> int:
+        # Instruction addresses are 4-byte aligned; drop the alignment
+        # bits so the whole PHT is usable (standard gshare indexing).
+        return (self._history ^ (pc >> 2)) & self._pht_mask
+
+    def predict(self, pc: int, target: int) -> bool:
+        return bool(self._pht[self._index(pc)] >= self._counter_threshold)
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        index = self._index(pc)
+        value = self._pht[index]
+        if taken:
+            if value < self._counter_max:
+                self._pht[index] = value + 1
+        elif value > 0:
+            self._pht[index] = value - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def simulate(self, trace: Trace) -> np.ndarray:
+        """Tight-loop fast path over raw Python ints (no numpy indexing)."""
+        n = len(trace)
+        correct = np.zeros(n, dtype=bool)
+        pht = self._pht.tolist()
+        history = self._history
+        history_mask = self._history_mask
+        pht_mask = self._pht_mask
+        counter_max = self._counter_max
+        threshold = self._counter_threshold
+        pcs = (trace.pc >> 2).tolist()
+        takens = trace.taken.tolist()
+        for i in range(n):
+            pc = pcs[i]
+            taken = takens[i]
+            index = (history ^ pc) & pht_mask
+            value = pht[index]
+            correct[i] = (value >= threshold) == taken
+            if taken:
+                if value < counter_max:
+                    pht[index] = value + 1
+            elif value > 0:
+                pht[index] = value - 1
+            history = ((history << 1) | taken) & history_mask
+        self._pht = np.asarray(pht, dtype=self._pht.dtype)
+        self._history = history
+        return correct
+
+
+class GAsPredictor(BranchPredictor):
+    """Global-history two-level predictor with address-selected PHTs.
+
+    Args:
+        history_bits: Global history register length.
+        pht_select_bits: log2 of the number of PHTs; the low address bits
+            select the PHT, the history pattern indexes within it.
+        counter_bits: PHT counter width.
+    """
+
+    def __init__(
+        self,
+        history_bits: int = 12,
+        pht_select_bits: int = 4,
+        counter_bits: int = 2,
+    ) -> None:
+        if history_bits < 0:
+            raise ValueError(f"history_bits must be >= 0, got {history_bits}")
+        if pht_select_bits < 0:
+            raise ValueError(
+                f"pht_select_bits must be >= 0, got {pht_select_bits}"
+            )
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._select_mask = (1 << pht_select_bits) - 1
+        self._counter_max = (1 << counter_bits) - 1
+        self._counter_threshold = 1 << (counter_bits - 1)
+        initial = self._counter_threshold
+        dtype = np.int8 if counter_bits <= 7 else np.int16
+        self._pht = np.full(
+            (1 << pht_select_bits, 1 << history_bits), initial, dtype=dtype
+        )
+        self._history = 0
+        self.name = f"gas-{history_bits}h-{pht_select_bits}s"
+
+    def predict(self, pc: int, target: int) -> bool:
+        counter = self._pht[(pc >> 2) & self._select_mask, self._history]
+        return bool(counter >= self._counter_threshold)
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        select = (pc >> 2) & self._select_mask
+        value = self._pht[select, self._history]
+        if taken:
+            if value < self._counter_max:
+                self._pht[select, self._history] = value + 1
+        elif value > 0:
+            self._pht[select, self._history] = value - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class PAsPredictor(BranchPredictor):
+    """Per-address two-level predictor.
+
+    The first level is a branch history table (BHT) of per-branch shift
+    registers indexed by the low bits of the address; the second level is
+    a set of PHTs also selected by address bits (section 2.1).
+
+    Args:
+        history_bits: Per-branch history register length.
+        bht_bits: log2 of the BHT entry count (address-indexed; aliasing
+            between branches that share low address bits is modelled, as
+            in a real implementation).
+        pht_select_bits: log2 of the number of PHTs.
+        counter_bits: PHT counter width.
+    """
+
+    def __init__(
+        self,
+        history_bits: int = 12,
+        bht_bits: int = 12,
+        pht_select_bits: int = 4,
+        counter_bits: int = 2,
+    ) -> None:
+        if history_bits < 0:
+            raise ValueError(f"history_bits must be >= 0, got {history_bits}")
+        if bht_bits < 0:
+            raise ValueError(f"bht_bits must be >= 0, got {bht_bits}")
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._bht_mask = (1 << bht_bits) - 1
+        self._select_mask = (1 << pht_select_bits) - 1
+        self._counter_max = (1 << counter_bits) - 1
+        self._counter_threshold = 1 << (counter_bits - 1)
+        initial = self._counter_threshold
+        dtype = np.int8 if counter_bits <= 7 else np.int16
+        self._pht = np.full(
+            (1 << pht_select_bits, 1 << history_bits), initial, dtype=dtype
+        )
+        self._bht = np.zeros(1 << bht_bits, dtype=np.int64)
+        self.name = f"pas-{history_bits}h-{bht_bits}b"
+
+    @property
+    def history_bits(self) -> int:
+        return self._history_bits
+
+    def predict(self, pc: int, target: int) -> bool:
+        history = self._bht[(pc >> 2) & self._bht_mask]
+        counter = self._pht[(pc >> 2) & self._select_mask, history]
+        return bool(counter >= self._counter_threshold)
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        bht_index = (pc >> 2) & self._bht_mask
+        history = self._bht[bht_index]
+        select = (pc >> 2) & self._select_mask
+        value = self._pht[select, history]
+        if taken:
+            if value < self._counter_max:
+                self._pht[select, history] = value + 1
+        elif value > 0:
+            self._pht[select, history] = value - 1
+        self._bht[bht_index] = ((history << 1) | int(taken)) & self._history_mask
+
+    def simulate(self, trace: Trace) -> np.ndarray:
+        """Tight-loop fast path using Python lists for state."""
+        n = len(trace)
+        correct = np.zeros(n, dtype=bool)
+        select_count = self._pht.shape[0]
+        pht = [row.tolist() for row in self._pht]
+        bht = self._bht.tolist()
+        history_mask = self._history_mask
+        bht_mask = self._bht_mask
+        select_mask = self._select_mask
+        counter_max = self._counter_max
+        threshold = self._counter_threshold
+        pcs = (trace.pc >> 2).tolist()
+        takens = trace.taken.tolist()
+        for i in range(n):
+            pc = pcs[i]
+            taken = takens[i]
+            history = bht[pc & bht_mask]
+            row = pht[pc & select_mask]
+            value = row[history]
+            correct[i] = (value >= threshold) == taken
+            if taken:
+                if value < counter_max:
+                    row[history] = value + 1
+            elif value > 0:
+                row[history] = value - 1
+            bht[pc & bht_mask] = ((history << 1) | taken) & history_mask
+        self._pht = np.asarray(pht, dtype=self._pht.dtype).reshape(
+            select_count, -1
+        )
+        self._bht = np.asarray(bht, dtype=np.int64)
+        return correct
+
+
+class GAgPredictor(GAsPredictor):
+    """GAg: one global history register, one shared PHT.
+
+    The degenerate point of the Yeh/Patt taxonomy's global side: no
+    address bits select the PHT, so all branches share every counter.
+    Equivalent to :class:`GAsPredictor` with zero select bits.
+    """
+
+    def __init__(self, history_bits: int = 12, counter_bits: int = 2) -> None:
+        super().__init__(
+            history_bits=history_bits,
+            pht_select_bits=0,
+            counter_bits=counter_bits,
+        )
+        self.name = f"gag-{history_bits}h"
+
+
+class PAgPredictor(PAsPredictor):
+    """PAg: per-address history registers, one shared PHT.
+
+    Per-branch first-level history with a single second-level table: the
+    pattern alone selects the counter, so branches with the same local
+    pattern interfere -- the configuration Yeh/Patt contrast with PAs.
+    """
+
+    def __init__(
+        self,
+        history_bits: int = 12,
+        bht_bits: int = 12,
+        counter_bits: int = 2,
+    ) -> None:
+        super().__init__(
+            history_bits=history_bits,
+            bht_bits=bht_bits,
+            pht_select_bits=0,
+            counter_bits=counter_bits,
+        )
+        self.name = f"pag-{history_bits}h-{bht_bits}b"

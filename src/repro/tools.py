@@ -1,0 +1,213 @@
+"""Trace toolkit: generate, inspect, and simulate ``.bpt`` trace files.
+
+Subcommands::
+
+    python -m repro.tools generate gcc -o gcc.bpt --length 50000
+    python -m repro.tools stats gcc.bpt
+    python -m repro.tools simulate gcc.bpt --predictor gshare --predictor pas
+    python -m repro.tools interference gcc.bpt
+
+The simulate subcommand accepts predictor specs of the form
+``name[:key=value,...]``, e.g. ``gshare:history_bits=12,pht_bits=12``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.interference import measure_gshare_interference
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.interference_free import (
+    InterferenceFreeGshare,
+    InterferenceFreePAs,
+)
+from repro.predictors.loop import LoopPredictor
+from repro.predictors.path import PathBasedPredictor
+from repro.predictors.skewed import SkewedPredictor
+from repro.predictors.pattern import BlockPatternPredictor
+from repro.predictors.static_ import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BackwardTakenPredictor,
+    IdealStaticPredictor,
+)
+from repro.predictors.twolevel import (
+    GAgPredictor,
+    GAsPredictor,
+    GsharePredictor,
+    PAgPredictor,
+    PAsPredictor,
+)
+from repro.trace.stats import compute_statistics
+from repro.trace.stream import (
+    read_text_trace,
+    read_trace,
+    write_text_trace,
+    write_trace,
+)
+from repro.workloads.suite import BENCHMARK_NAMES, load_benchmark
+
+#: Predictor factories accepted by ``simulate --predictor``.
+PREDICTOR_REGISTRY: Dict[str, Callable[..., BranchPredictor]] = {
+    "always-taken": AlwaysTakenPredictor,
+    "always-not-taken": AlwaysNotTakenPredictor,
+    "btfnt": BackwardTakenPredictor,
+    "ideal-static": IdealStaticPredictor,
+    "bimodal": BimodalPredictor,
+    "gag": GAgPredictor,
+    "gas": GAsPredictor,
+    "gshare": GsharePredictor,
+    "pag": PAgPredictor,
+    "pas": PAsPredictor,
+    "if-gshare": InterferenceFreeGshare,
+    "if-pas": InterferenceFreePAs,
+    "loop": LoopPredictor,
+    "block": BlockPatternPredictor,
+    "path": PathBasedPredictor,
+    "egskew": SkewedPredictor,
+}
+
+
+def parse_predictor_spec(spec: str) -> BranchPredictor:
+    """Instantiate a predictor from ``name[:key=value,...]``.
+
+    Values are parsed as integers (every registry parameter is an int
+    width or size).
+    """
+    name, _, argument_text = spec.partition(":")
+    try:
+        factory = PREDICTOR_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {name!r}; choose from "
+            f"{', '.join(sorted(PREDICTOR_REGISTRY))}"
+        ) from None
+    kwargs = {}
+    if argument_text:
+        for item in argument_text.split(","):
+            key, _, value = item.partition("=")
+            if not value:
+                raise ValueError(f"malformed predictor argument {item!r}")
+            kwargs[key.strip()] = int(value)
+    return factory(**kwargs)
+
+
+def _load_any(path: str):
+    """Read a trace by extension: .txt/.trace = text, otherwise binary."""
+    if str(path).endswith((".txt", ".trace")):
+        return read_text_trace(path)
+    return read_trace(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = load_benchmark(args.benchmark, length=args.length, run_seed=args.seed)
+    if str(args.output).endswith((".txt", ".trace")):
+        write_text_trace(trace, args.output)
+    else:
+        write_trace(trace, args.output)
+    print(f"wrote {len(trace)} branches to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = _load_any(args.trace)
+    stats = compute_statistics(trace)
+    print(f"dynamic branches:        {stats.num_dynamic}")
+    print(f"static branches:         {stats.num_static}")
+    print(f"taken rate:              {stats.taken_rate:.4f}")
+    print(f"backward-branch rate:    {stats.backward_rate:.4f}")
+    print(f"ideal-static accuracy:   {stats.ideal_static_accuracy * 100:.2f}%")
+    print(
+        f">99%-biased dyn fraction: "
+        f"{stats.biased_99_dynamic_fraction * 100:.2f}%"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = _load_any(args.trace)
+    print(f"{args.trace}: {len(trace)} dynamic branches")
+    for spec in args.predictor:
+        predictor = parse_predictor_spec(spec)
+        accuracy = predictor.accuracy(trace)
+        print(f"  {predictor.name:28s} {accuracy * 100:6.2f}%")
+    return 0
+
+
+def _cmd_interference(args: argparse.Namespace) -> int:
+    trace = _load_any(args.trace)
+    report = measure_gshare_interference(
+        trace, args.history_bits, args.pht_bits
+    )
+    print(f"gshare {args.history_bits}h/{args.pht_bits}p on {args.trace}:")
+    print(f"  conflict access rate:        {report.conflict_rate * 100:.2f}%")
+    print(
+        f"  misprediction on conflicts:  "
+        f"{report.conflict_misprediction_rate * 100:.2f}%"
+    )
+    print(
+        f"  misprediction on private:    "
+        f"{report.private_misprediction_rate * 100:.2f}%"
+    )
+    print(f"  PHT occupancy:               {report.occupancy * 100:.2f}%")
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tools", description="Branch-trace toolkit."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a benchmark trace to a .bpt file"
+    )
+    generate.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--length", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=12345)
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = subparsers.add_parser("stats", help="summarise a .bpt file")
+    stats.add_argument("trace")
+    stats.set_defaults(func=_cmd_stats)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run predictors over a .bpt file"
+    )
+    simulate.add_argument("trace")
+    simulate.add_argument(
+        "--predictor",
+        action="append",
+        default=None,
+        help="predictor spec name[:key=value,...]; repeatable",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    interference = subparsers.add_parser(
+        "interference", help="measure gshare PHT interference on a .bpt file"
+    )
+    interference.add_argument("trace")
+    interference.add_argument("--history-bits", type=int, default=16)
+    interference.add_argument("--pht-bits", type=int, default=16)
+    interference.set_defaults(func=_cmd_interference)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    if getattr(args, "predictor", "missing") is None:
+        args.predictor = ["gshare", "pas:history_bits=6,bht_bits=12"]
+    try:
+        return args.func(args)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

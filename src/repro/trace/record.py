@@ -1,0 +1,37 @@
+"""A single dynamic conditional branch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One dynamic execution of a conditional branch.
+
+    Attributes:
+        pc: Address of the branch instruction.  All experiments identify
+            *static* branches by this address, exactly as the paper's
+            trace-driven simulator does.
+        target: Address the branch jumps to when taken.  Only the
+            *direction* ``target < pc`` matters to the reproduction (it
+            defines backward branches, used by the iteration-tagging
+            scheme of section 3.2 and by the BTFNT static predictor).
+        taken: Outcome of this dynamic instance.
+    """
+
+    pc: int
+    target: int
+    taken: bool
+
+    @property
+    def is_backward(self) -> bool:
+        """True when the branch jumps to a lower address (loop-closing)."""
+        return self.target < self.pc
+
+    def __post_init__(self) -> None:
+        if self.pc < 0 or self.target < 0:
+            raise ValueError(
+                f"branch addresses must be non-negative, got pc={self.pc} "
+                f"target={self.target}"
+            )

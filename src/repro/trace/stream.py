@@ -1,0 +1,134 @@
+"""Binary trace files (``.bpt`` -- *branch prediction trace*).
+
+Layout (little-endian):
+
+========  =====================================================
+offset    contents
+========  =====================================================
+0         magic ``b"BPT1"``
+4         ``uint64`` n -- number of dynamic branches
+12        n * ``uint64`` branch addresses
+12+8n     n * ``uint64`` taken-target addresses
+12+16n    ``ceil(n/8)`` bytes -- outcomes, bit-packed LSB-first
+========  =====================================================
+
+The format exists so that generated workload traces can be produced once
+and replayed by many experiments (the paper simulated SPECint95 *to
+completion* once per configuration; we memoise instead, but files also let
+users bring their own traces).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+MAGIC = b"BPT1"
+
+PathLike = Union[str, os.PathLike]
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed."""
+
+
+def write_trace(trace: Trace, path: PathLike) -> None:
+    """Serialise ``trace`` to ``path`` in ``.bpt`` format."""
+    n = len(trace)
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(np.uint64(n).tobytes())
+        fh.write(np.ascontiguousarray(trace.pc, dtype="<u8").tobytes())
+        fh.write(np.ascontiguousarray(trace.target, dtype="<u8").tobytes())
+        fh.write(np.packbits(trace.taken, bitorder="little").tobytes())
+
+
+def read_trace(path: PathLike) -> Trace:
+    """Deserialise a ``.bpt`` file written by :func:`write_trace`."""
+    data = Path(path).read_bytes()
+    return _parse(data, source=str(path))
+
+
+def _parse(data: bytes, source: str) -> Trace:
+    stream = io.BytesIO(data)
+    magic = stream.read(4)
+    if magic != MAGIC:
+        raise TraceFormatError(f"{source}: bad magic {magic!r}, expected {MAGIC!r}")
+    header = stream.read(8)
+    if len(header) != 8:
+        raise TraceFormatError(f"{source}: truncated header")
+    n = int(np.frombuffer(header, dtype="<u8")[0])
+    pc_bytes = stream.read(8 * n)
+    target_bytes = stream.read(8 * n)
+    taken_bytes = stream.read((n + 7) // 8)
+    if len(pc_bytes) != 8 * n or len(target_bytes) != 8 * n:
+        raise TraceFormatError(f"{source}: truncated address columns")
+    if len(taken_bytes) != (n + 7) // 8:
+        raise TraceFormatError(f"{source}: truncated outcome column")
+    pc = np.frombuffer(pc_bytes, dtype="<u8")
+    target = np.frombuffer(target_bytes, dtype="<u8")
+    taken = np.unpackbits(
+        np.frombuffer(taken_bytes, dtype=np.uint8), bitorder="little", count=n
+    ).astype(bool)
+    return Trace(pc, target, taken)
+
+
+def write_text_trace(trace: Trace, path: PathLike) -> None:
+    """Serialise a trace as text: one ``pc target taken`` line per branch.
+
+    The interop format: trivially produced by any tracer (pin tool,
+    QEMU plugin, a printf in a simulator).  Addresses are hex, the
+    outcome is ``T``/``N``.  ``#``-prefixed lines are comments.
+    """
+    with open(path, "w") as fh:
+        fh.write("# repro text trace: pc target taken(T/N)\n")
+        pcs = trace.pc.tolist()
+        targets = trace.target.tolist()
+        takens = trace.taken.tolist()
+        for pc, target, taken in zip(pcs, targets, takens):
+            fh.write(f"{pc:#x} {target:#x} {'T' if taken else 'N'}\n")
+
+
+def read_text_trace(path: PathLike) -> Trace:
+    """Parse the text format written by :func:`write_text_trace`.
+
+    Accepts decimal or hex addresses and ``T/N``, ``1/0``,
+    ``taken/not-taken`` outcome spellings; blank and ``#`` lines are
+    skipped.
+    """
+    from repro.trace.trace import TraceBuilder
+
+    taken_words = {"t": True, "1": True, "taken": True,
+                   "n": False, "0": False, "not-taken": False}
+    builder = TraceBuilder()
+    with open(path) as fh:
+        for line_number, line in enumerate(fh, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if len(parts) != 3:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: expected 'pc target taken', "
+                    f"got {text!r}"
+                )
+            try:
+                pc = int(parts[0], 0)
+                target = int(parts[1], 0)
+            except ValueError:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: bad address in {text!r}"
+                ) from None
+            outcome = taken_words.get(parts[2].lower())
+            if outcome is None:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: bad outcome {parts[2]!r}"
+                )
+            builder.append(pc, target, outcome)
+    return builder.build()

@@ -1,0 +1,210 @@
+"""Columnar branch traces.
+
+A :class:`Trace` stores a complete dynamic branch stream as three parallel
+numpy arrays (``pc``, ``target``, ``taken``).  Column storage keeps a
+200k-branch trace under 4 MB and lets the analysis layer vectorise
+whole-trace computations (ideal-static accuracy, fixed-``k`` pattern
+accuracy, bias statistics) instead of looping in Python -- the main
+mitigation for pure-Python simulation speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Union
+
+import numpy as np
+
+from repro.trace.record import BranchRecord
+
+PC_DTYPE = np.uint64
+TAKEN_DTYPE = np.bool_
+
+
+class Trace:
+    """An immutable sequence of dynamic conditional branches.
+
+    Construct from columns (zero-copy where possible) or via
+    :class:`TraceBuilder` / :meth:`Trace.from_records`.
+    """
+
+    __slots__ = ("_pc", "_target", "_taken", "_pc_index_cache")
+
+    def __init__(
+        self,
+        pc: Sequence[int],
+        target: Sequence[int],
+        taken: Sequence[bool],
+    ) -> None:
+        pc_arr = np.ascontiguousarray(pc, dtype=PC_DTYPE)
+        target_arr = np.ascontiguousarray(target, dtype=PC_DTYPE)
+        taken_arr = np.ascontiguousarray(taken, dtype=TAKEN_DTYPE)
+        if not (len(pc_arr) == len(target_arr) == len(taken_arr)):
+            raise ValueError(
+                "trace columns must have equal length: "
+                f"pc={len(pc_arr)} target={len(target_arr)} taken={len(taken_arr)}"
+            )
+        self._pc = pc_arr
+        self._target = target_arr
+        self._taken = taken_arr
+        self._pc_index_cache: Union[Dict[int, np.ndarray], None] = None
+        for col in (self._pc, self._target, self._taken):
+            col.setflags(write=False)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Sequence[BranchRecord]) -> "Trace":
+        """Build a trace from an iterable of :class:`BranchRecord`."""
+        builder = TraceBuilder()
+        for record in records:
+            builder.append(record.pc, record.target, record.taken)
+        return builder.build()
+
+    @classmethod
+    def empty(cls) -> "Trace":
+        return cls([], [], [])
+
+    # -- columns ----------------------------------------------------------
+
+    @property
+    def pc(self) -> np.ndarray:
+        """Branch addresses, shape ``(len(self),)``, dtype uint64."""
+        return self._pc
+
+    @property
+    def target(self) -> np.ndarray:
+        """Taken-target addresses, shape ``(len(self),)``, dtype uint64."""
+        return self._target
+
+    @property
+    def taken(self) -> np.ndarray:
+        """Outcomes, shape ``(len(self),)``, dtype bool."""
+        return self._taken
+
+    @property
+    def is_backward(self) -> np.ndarray:
+        """Boolean mask of backward (loop-closing) branches."""
+        return self._target < self._pc
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pc)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[BranchRecord, "Trace"]:
+        if isinstance(index, slice):
+            return Trace(self._pc[index], self._target[index], self._taken[index])
+        i = int(index)
+        return BranchRecord(
+            pc=int(self._pc[i]),
+            target=int(self._target[i]),
+            taken=bool(self._taken[i]),
+        )
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            np.array_equal(self._pc, other._pc)
+            and np.array_equal(self._target, other._target)
+            and np.array_equal(self._taken, other._taken)
+        )
+
+    def __hash__(self) -> int:  # immutable, but arrays are unhashable
+        return hash((len(self), self._pc.tobytes()[:64], self._taken.tobytes()[:64]))
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(len={len(self)}, static={self.num_static_branches()}, "
+            f"taken_rate={self.taken_rate():.3f})"
+        )
+
+    # -- derived views ------------------------------------------------------
+
+    def num_static_branches(self) -> int:
+        """Number of distinct branch addresses in the trace."""
+        return len(np.unique(self._pc)) if len(self) else 0
+
+    def taken_rate(self) -> float:
+        """Fraction of dynamic branches that were taken."""
+        return float(self._taken.mean()) if len(self) else 0.0
+
+    def static_pcs(self) -> np.ndarray:
+        """Sorted array of distinct static branch addresses."""
+        return np.unique(self._pc)
+
+    def indices_by_pc(self) -> Dict[int, np.ndarray]:
+        """Map each static branch address to its dynamic-instance indices.
+
+        The result is cached: several analyses (per-address predictors,
+        classification, percentile curves) group the same trace repeatedly.
+        """
+        if self._pc_index_cache is None:
+            if not len(self):
+                self._pc_index_cache = {}
+                return self._pc_index_cache
+            order = np.argsort(self._pc, kind="stable")
+            sorted_pc = self._pc[order]
+            boundaries = np.nonzero(np.diff(sorted_pc))[0] + 1
+            groups = np.split(order, boundaries)
+            self._pc_index_cache = {
+                int(sorted_pc[start]): group
+                for start, group in zip(
+                    np.concatenate(([0], boundaries)), groups
+                )
+            }
+        return self._pc_index_cache
+
+    def outcomes_by_pc(self) -> Dict[int, np.ndarray]:
+        """Map each static branch address to its in-order outcome sequence."""
+        return {
+            pc: self._taken[indices] for pc, indices in self.indices_by_pc().items()
+        }
+
+    def dynamic_counts(self) -> Dict[int, int]:
+        """Map each static branch address to its dynamic execution count."""
+        return {pc: len(idx) for pc, idx in self.indices_by_pc().items()}
+
+    def concat(self, other: "Trace") -> "Trace":
+        """Return a new trace holding ``self`` followed by ``other``."""
+        return Trace(
+            np.concatenate([self._pc, other._pc]),
+            np.concatenate([self._target, other._target]),
+            np.concatenate([self._taken, other._taken]),
+        )
+
+
+class TraceBuilder:
+    """Incremental trace construction with amortised append.
+
+    The workload interpreter emits one branch per executed conditional; the
+    builder buffers into Python lists and converts to columnar numpy storage
+    once at :meth:`build`.
+    """
+
+    def __init__(self) -> None:
+        self._pc: List[int] = []
+        self._target: List[int] = []
+        self._taken: List[bool] = []
+
+    def append(self, pc: int, target: int, taken: bool) -> None:
+        """Record one dynamic branch."""
+        if pc < 0 or target < 0:
+            raise ValueError("branch addresses must be non-negative")
+        self._pc.append(pc)
+        self._target.append(target)
+        self._taken.append(bool(taken))
+
+    def append_record(self, record: BranchRecord) -> None:
+        self.append(record.pc, record.target, record.taken)
+
+    def __len__(self) -> int:
+        return len(self._pc)
+
+    def build(self) -> Trace:
+        """Freeze the buffered branches into an immutable :class:`Trace`."""
+        return Trace(self._pc, self._target, self._taken)

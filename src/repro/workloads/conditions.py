@@ -1,0 +1,282 @@
+"""Condition expressions and trip-count generators for synthetic programs.
+
+Branch conditions are small expression trees evaluated against the
+program's :class:`~repro.workloads.program.Environment`.  Correlation
+between branches arises naturally: two branches whose conditions share a
+variable (figure 1a of the paper), or a branch testing a variable another
+statement assigned (figure 1b), are direction-correlated exactly the way
+the paper's source-level examples are.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.workloads.program import Environment
+
+
+class Expr(abc.ABC):
+    """A boolean expression over the program environment."""
+
+    @abc.abstractmethod
+    def evaluate(self, env: "Environment") -> bool:
+        """Evaluate against the current environment."""
+
+
+class ConstExpr(Expr):
+    """A constant truth value."""
+
+    def __init__(self, value: bool) -> None:
+        self._value = bool(value)
+
+    def evaluate(self, env: "Environment") -> bool:
+        return self._value
+
+
+class VarExpr(Expr):
+    """The current value of a boolean program variable.
+
+    Reading an unset variable is a programming error in the workload
+    definition, so it raises rather than defaulting.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, env: "Environment") -> bool:
+        try:
+            return env.variables[self.name]
+        except KeyError:
+            raise KeyError(
+                f"workload read variable {self.name!r} before assignment"
+            ) from None
+
+
+class NotExpr(Expr):
+    """Logical negation."""
+
+    def __init__(self, operand: Expr) -> None:
+        self._operand = operand
+
+    def evaluate(self, env: "Environment") -> bool:
+        return not self._operand.evaluate(env)
+
+
+class AndExpr(Expr):
+    """Logical conjunction (short-circuit, like the source programs)."""
+
+    def __init__(self, *operands: Expr) -> None:
+        if len(operands) < 2:
+            raise ValueError("AndExpr needs at least two operands")
+        self._operands = operands
+
+    def evaluate(self, env: "Environment") -> bool:
+        return all(op.evaluate(env) for op in self._operands)
+
+
+class OrExpr(Expr):
+    """Logical disjunction (short-circuit)."""
+
+    def __init__(self, *operands: Expr) -> None:
+        if len(operands) < 2:
+            raise ValueError("OrExpr needs at least two operands")
+        self._operands = operands
+
+    def evaluate(self, env: "Environment") -> bool:
+        return any(op.evaluate(env) for op in self._operands)
+
+
+class BernoulliExpr(Expr):
+    """A fresh biased coin flip on every evaluation.
+
+    Models data-dependent conditions: the probability is the branch's
+    bias, and successive evaluations are independent (the hardest case
+    for any history-based predictor).
+    """
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self._probability = probability
+
+    def evaluate(self, env: "Environment") -> bool:
+        return env.rng.random() < self._probability
+
+
+class MarkovExpr(Expr):
+    """A two-state Markov boolean: stays in its current state with
+    probability ``p_stay``.
+
+    Produces runs of equal outcomes -- data with temporal locality, the
+    kind of input-driven pattern the paper's non-repeating-pattern class
+    captures ("the input to a program commonly has some pattern to it").
+    """
+
+    def __init__(self, p_stay: float, initial: bool = True) -> None:
+        if not 0.0 <= p_stay <= 1.0:
+            raise ValueError(f"p_stay must be in [0, 1], got {p_stay}")
+        self._p_stay = p_stay
+        self._state = bool(initial)
+
+    def evaluate(self, env: "Environment") -> bool:
+        if env.rng.random() >= self._p_stay:
+            self._state = not self._state
+        return self._state
+
+
+class PatternExpr(Expr):
+    """Cycles deterministically through a fixed outcome pattern.
+
+    Each expression instance keeps its own cursor, so a branch site
+    guarded by a :class:`PatternExpr` repeats the pattern exactly -- the
+    fixed-length-pattern class of section 4.1.2.
+    """
+
+    def __init__(self, pattern: Sequence[bool]) -> None:
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self._pattern: List[bool] = [bool(x) for x in pattern]
+        self._cursor = 0
+
+    def evaluate(self, env: "Environment") -> bool:
+        value = self._pattern[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._pattern)
+        return value
+
+
+class PhaseExpr(Expr):
+    """Alternates between two behaviours every ``period`` evaluations.
+
+    Models program phases: the branch behaves one way for a while, then
+    another.  Phase changes force dynamic predictors to retrain, which is
+    one of the effects (training time) the paper identifies as limiting
+    gshare.
+    """
+
+    def __init__(self, period: int, first: Expr, second: Expr) -> None:
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self._period = period
+        self._first = first
+        self._second = second
+        self._count = 0
+
+    def evaluate(self, env: "Environment") -> bool:
+        phase = (self._count // self._period) % 2
+        self._count += 1
+        active = self._first if phase == 0 else self._second
+        return active.evaluate(env)
+
+
+class SelfHistoryExpr(Expr):
+    """Next outcome is a boolean function of the branch's own recent outcomes.
+
+    With ``flip_probability`` the outcome is inverted at random, which
+    keeps the sequence from settling into a fixed period: a fixed-length
+    pattern predictor loses its phase at every flip, while a per-address
+    two-level predictor re-finds the mapping from recent outcomes to the
+    next one -- the paper's *non-repeating pattern* class (section 4.1.3).
+
+    Args:
+        truth_table: Map from the tuple of the last ``depth`` outcomes to
+            the next outcome, given as a list of 2**depth booleans
+            indexed by the history bits (most recent = LSB).
+        depth: How many of the branch's own outcomes feed the function.
+        flip_probability: Chance of inverting each produced outcome.
+    """
+
+    def __init__(
+        self,
+        truth_table: Sequence[bool],
+        depth: int,
+        flip_probability: float = 0.05,
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if len(truth_table) != 1 << depth:
+            raise ValueError(
+                f"truth table must have {1 << depth} entries, got "
+                f"{len(truth_table)}"
+            )
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError("flip_probability must be in [0, 1]")
+        self._table = [bool(x) for x in truth_table]
+        self._depth = depth
+        self._flip = flip_probability
+        self._history = 0
+        self._mask = (1 << depth) - 1
+
+    def evaluate(self, env: "Environment") -> bool:
+        value = self._table[self._history]
+        if env.rng.random() < self._flip:
+            value = not value
+        self._history = ((self._history << 1) | value) & self._mask
+        return value
+
+
+class CounterBelowExpr(Expr):
+    """True while an integer counter is below a bound.
+
+    The guard for depth-limited recursion: ``if (depth < bound)
+    recurse;`` produces branches whose outcomes correlate with call
+    depth, a behaviour pattern of recursive benchmarks like xlisp.
+    Unset counters read as zero.
+    """
+
+    def __init__(self, name: str, bound: int) -> None:
+        self.name = name
+        self.bound = bound
+
+    def evaluate(self, env: "Environment") -> bool:
+        return env.counters.get(self.name, 0) < self.bound
+
+
+#: A trip-count generator: called at loop entry, returns the trip count.
+TripCountGenerator = Callable[["Environment"], int]
+
+
+def constant_trips(n: int) -> TripCountGenerator:
+    """Always the same trip count (a classic for-loop)."""
+    if n < 0:
+        raise ValueError(f"trip count must be >= 0, got {n}")
+
+    def generate(env: "Environment") -> int:
+        return n
+
+    return generate
+
+
+def uniform_trips(low: int, high: int) -> TripCountGenerator:
+    """Uniformly random trip count in [low, high] per loop entry."""
+    if not 0 <= low <= high:
+        raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+
+    def generate(env: "Environment") -> int:
+        return env.rng.randint(low, high)
+
+    return generate
+
+
+def drifting_trips(
+    initial: int, change_probability: float, low: int, high: int
+) -> TripCountGenerator:
+    """A trip count that "stays the same or changes infrequently".
+
+    This is exactly the loop-class premise of section 4.1.1: with
+    probability ``change_probability`` per loop entry, the count is
+    redrawn uniformly from [low, high]; otherwise it repeats.
+    """
+    if not 0 <= low <= high:
+        raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+    if not 0.0 <= change_probability <= 1.0:
+        raise ValueError("change_probability must be in [0, 1]")
+    state = {"count": initial}
+
+    def generate(env: "Environment") -> int:
+        if env.rng.random() < change_probability:
+            state["count"] = env.rng.randint(low, high)
+        return state["count"]
+
+    return generate

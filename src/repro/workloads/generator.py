@@ -1,0 +1,325 @@
+"""Benchmark-analogue program generation.
+
+A :class:`BenchmarkProfile` names how many units of each behaviour motif
+a benchmark contains and the parameter ranges the build RNG draws from.
+The profiles for the eight SPECint95 analogues live in
+:mod:`repro.workloads.suite`; this module turns a profile into a
+:class:`~repro.workloads.program.Program`.
+
+Unit mixes are *tuned*, not derived: the goal (DESIGN.md section 5) is
+that the relative difficulty ordering and the per-class fractions of the
+paper's benchmarks are preserved, not the absolute SPEC numbers.
+
+Unit kinds:
+
+========== ============================================================
+kind        behaviour
+========== ============================================================
+biased_run  block of >95%-biased branches (the dominant mass)
+biased      single biased branch
+noise       weakly biased, history-independent branch
+data        moderately biased, history-independent branch
+markov      temporally-correlated data branch
+selfdep     own-history-function branch (non-repeating class)
+phase       branch whose bias flips between long program phases
+corr_pair   figure 1a direction correlation
+corr_triple figure 1c correlation with two prior branches
+corr_quad   correlation with three prior branches
+assign_corr figure 1b direction correlation
+chain       figure 2 in-path correlation
+for_loop    for-type loop (backward branch)
+while_loop  while-type loop (forward exit branch)
+loop_nest   nested for-loops
+gated_loop  guarded loop (guard correlates with loop branches)
+pattern     fixed repeating outcome pattern
+block       block pattern (n taken / m not-taken)
+call        call-site-correlated procedure
+recursion   depth-guarded self-calling procedure
+========== ============================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.workloads import motifs
+from repro.workloads.conditions import (
+    BernoulliExpr,
+    Expr,
+    MarkovExpr,
+    TripCountGenerator,
+    constant_trips,
+    drifting_trips,
+    uniform_trips,
+)
+from repro.workloads.program import Block, Procedure, Program, Statement
+
+
+@dataclass
+class BenchmarkProfile:
+    """Recipe for one benchmark analogue.
+
+    Attributes:
+        name: Benchmark name (e.g. ``"gcc"``).
+        seed: Build seed -- fixes the generated *program*; the execution
+            seed is separate, so the same program can run on different
+            "inputs".
+        units: Map from motif kind to instance count.
+        biased_range: Bias probability range for biased units.
+        noise_range: Taken-probability range for ``noise`` units.
+        data_range: Taken-probability range for ``data`` units.
+        loop_style: ``"constant"``, ``"drifting"`` or ``"uniform"`` trip
+            counts for loop units.
+        loop_trip_range: Trip-count range for *short* loop units.
+        long_loop_fraction: Fraction of loops drawn from the long range.
+        long_trip_range: Trip-count range for long loops.
+        markov_range: ``p_stay`` range for markov units.
+        corr_markov_fraction: Fraction of correlation units whose shared
+            condition comes from a Markov source (dynamically learnable)
+            rather than a fresh Bernoulli draw (pure correlation).
+        corr_markov_range: ``p_stay`` range for Markov correlation sources.
+        corr_bernoulli_range: Taken-probability range for Bernoulli
+            correlation sources.
+    """
+
+    name: str
+    seed: int
+    units: Dict[str, int]
+    biased_range: Tuple[float, float] = (0.97, 0.999)
+    noise_range: Tuple[float, float] = (0.52, 0.72)
+    data_range: Tuple[float, float] = (0.7, 0.85)
+    loop_style: str = "drifting"
+    loop_trip_range: Tuple[int, int] = (2, 4)
+    long_loop_fraction: float = 0.35
+    long_trip_range: Tuple[int, int] = (15, 60)
+    markov_range: Tuple[float, float] = (0.85, 0.96)
+    corr_markov_fraction: float = 0.7
+    corr_markov_range: Tuple[float, float] = (0.8, 0.92)
+    corr_bernoulli_range: Tuple[float, float] = (0.35, 0.65)
+    extra_procedures: List[Procedure] = field(default_factory=list)
+
+
+def _trip_generator(profile: BenchmarkProfile, rng: random.Random) -> TripCountGenerator:
+    """Trip counts are bimodal, like real loops.
+
+    Most loops are *short* (a couple of iterations -- capturable inside a
+    global history register); a fraction are *long* (their branches are
+    then nearly always-taken, predictable by bias alone, and their exits
+    are what the loop predictor recovers).  Mid-size noisy loops, which
+    no paper predictor handles well, exist but are not the common case.
+    """
+    if rng.random() < profile.long_loop_fraction:
+        low, high = profile.long_trip_range
+    else:
+        low, high = profile.loop_trip_range
+    if profile.loop_style == "constant":
+        return constant_trips(rng.randint(low, high))
+    if profile.loop_style == "uniform":
+        return uniform_trips(low, high)
+    if profile.loop_style == "drifting":
+        return drifting_trips(rng.randint(low, high), 0.02, low, high)
+    raise ValueError(f"unknown loop style {profile.loop_style!r}")
+
+
+def _uniform(rng: random.Random, bounds: Tuple[float, float]) -> float:
+    low, high = bounds
+    return rng.uniform(low, high)
+
+
+def _corr_source(rng: random.Random, profile: BenchmarkProfile) -> Expr:
+    """The shared condition feeding a correlation motif."""
+    if rng.random() < profile.corr_markov_fraction:
+        return MarkovExpr(_uniform(rng, profile.corr_markov_range))
+    return BernoulliExpr(_uniform(rng, profile.corr_bernoulli_range))
+
+
+def _loop_body(rng: random.Random, profile: BenchmarkProfile) -> Statement:
+    """Loop bodies are mostly clean: biased guards, occasional markov data.
+
+    Keeping loop bodies predictable preserves the recurring global-history
+    patterns gshare needs; heavy noise inside hot loops (unlike real
+    code) would fragment every pattern in the trace.
+    """
+    roll = rng.random()
+    if roll < 0.15:
+        # Loop branch only: its run-length structure stays pristine.
+        return Block([])
+    branches: List[Statement] = [
+        motifs.biased_branch(_uniform(rng, (0.95, 0.998)))
+    ]
+    if roll > 0.8:
+        branches.append(motifs.markov_branch(_uniform(rng, (0.9, 0.97))))
+    return Block(branches)
+
+
+def _build_unit(
+    kind: str,
+    index: int,
+    rng: random.Random,
+    profile: BenchmarkProfile,
+    procedures: List[Procedure],
+) -> Statement:
+    prefix = f"{profile.name}_{kind}{index}"
+    if kind == "biased_run":
+        return motifs.biased_run(rng, rng.randint(3, 7), *profile.biased_range)
+    if kind == "biased":
+        probability = _uniform(rng, profile.biased_range)
+        if rng.random() < 0.35:
+            probability = 1.0 - probability  # some branches biased not-taken
+        return motifs.biased_branch(probability)
+    if kind == "noise":
+        return motifs.data_branch(_uniform(rng, profile.noise_range))
+    if kind == "data":
+        return motifs.data_branch(_uniform(rng, profile.data_range))
+    if kind == "selfdep":
+        return motifs.self_history_branch(
+            rng, rng.randint(2, 3), _uniform(rng, (0.03, 0.1))
+        )
+    if kind == "markov":
+        return motifs.markov_branch(_uniform(rng, profile.markov_range))
+    if kind == "phase":
+        period = rng.randint(1500, 6000)
+        return motifs.phased_branch(
+            period,
+            _uniform(rng, (0.7, 0.95)),
+            _uniform(rng, (0.05, 0.3)),
+        )
+    if kind == "corr_triple":
+        return motifs.correlated_triple(
+            prefix,
+            p_first=_uniform(rng, (0.5, 0.8)),
+            p_second=_uniform(rng, (0.45, 0.75)),
+            filler=rng.randint(0, 6),
+        )
+    if kind == "corr_quad":
+        return motifs.correlated_quad(
+            prefix,
+            p_first=_uniform(rng, (0.5, 0.8)),
+            p_second=_uniform(rng, (0.4, 0.7)),
+            p_third=_uniform(rng, (0.4, 0.7)),
+        )
+    if kind == "corr_pair":
+        return motifs.correlated_pair(
+            prefix,
+            first_source=_corr_source(rng, profile),
+            p_second=_uniform(rng, (0.45, 0.8)),
+            filler=rng.randint(0, 10),
+            filler_bias=_uniform(rng, (0.85, 0.99)),
+        )
+    if kind == "assign_corr":
+        return motifs.assignment_correlation(
+            prefix,
+            condition_source=_corr_source(rng, profile),
+            p_background=_uniform(rng, (0.1, 0.35)),
+        )
+    if kind == "chain":
+        return motifs.if_elif_chain(
+            prefix,
+            first_source=_corr_source(rng, profile),
+            second_source=_corr_source(rng, profile),
+            p_arm=_uniform(rng, (0.45, 0.7)),
+        )
+    if kind == "for_loop":
+        return motifs.for_loop(_trip_generator(profile, rng), _loop_body(rng, profile))
+    if kind == "while_loop":
+        return motifs.while_loop(
+            _trip_generator(profile, rng), _loop_body(rng, profile)
+        )
+    if kind == "loop_nest":
+        return motifs.loop_nest(
+            _trip_generator(profile, rng),
+            _trip_generator(profile, rng),
+            _loop_body(rng, profile),
+        )
+    if kind == "gated_loop":
+        return motifs.gated_loop(
+            prefix,
+            _trip_generator(profile, rng),
+            _loop_body(rng, profile),
+            p_enter=_uniform(rng, (0.6, 0.9)),
+        )
+    if kind == "pattern":
+        length = rng.randint(2, 8)
+        return motifs.pattern_branch(motifs.random_pattern(rng, length))
+    if kind == "block":
+        return motifs.block_pattern_branch(rng.randint(2, 12), rng.randint(2, 12))
+    if kind == "recursion":
+        callee = f"{prefix}_rec"
+        procedures.append(
+            motifs.make_recursive_procedure(
+                callee,
+                max_depth=rng.randint(4, 10),
+                p_continue=_uniform(rng, (0.55, 0.8)),
+            )
+        )
+        return motifs.recursive_descent(prefix, callee)
+    if kind == "call":
+        callee = f"{prefix}_proc"
+        procedures.append(
+            Procedure(callee, motifs.make_callee_body(callee, rng.randint(1, 3)))
+        )
+        return motifs.call_site_pair(
+            prefix, callee, p_alternate=_uniform(rng, (0.5, 0.8))
+        )
+    raise ValueError(f"unknown unit kind {kind!r}")
+
+
+#: Layout clusters: units of a cluster are contiguous in the program so
+#: noisy branches pollute only their own neighbourhood's history windows,
+#: as in real programs, instead of fragmenting training trace-wide.
+_UNIT_CLUSTERS = {
+    "biased_run": "clean",
+    "biased": "clean",
+    "pattern": "clean",
+    "block": "clean",
+    "for_loop": "loops",
+    "while_loop": "loops",
+    "loop_nest": "loops",
+    "gated_loop": "loops",
+    "corr_pair": "corr",
+    "corr_triple": "corr",
+    "corr_quad": "corr",
+    "assign_corr": "corr",
+    "chain": "corr",
+    "call": "corr",
+    "recursion": "corr",
+    "markov": "data",
+    "selfdep": "data",
+    "data": "data",
+    "noise": "data",
+    "phase": "data",
+}
+
+
+def build_program(profile: BenchmarkProfile) -> Program:
+    """Materialise a benchmark profile into an executable program."""
+    rng = random.Random(profile.seed)
+    procedures: List[Procedure] = list(profile.extra_procedures)
+    clusters: Dict[str, List[Statement]] = {
+        "clean": [],
+        "loops": [],
+        "corr": [],
+        "data": [],
+    }
+    for kind, count in profile.units.items():
+        for index in range(count):
+            unit = _build_unit(kind, index, rng, profile, procedures)
+            clusters[_UNIT_CLUSTERS[kind]].append(unit)
+    for units in clusters.values():
+        rng.shuffle(units)
+    # Interleave clean mass between the behaviour clusters so each
+    # cluster's history windows start from a low-entropy context.
+    clean = clusters["clean"]
+    third = max(1, len(clean) // 3)
+    ordered: List[Statement] = []
+    ordered.extend(clean[:third])
+    ordered.extend(clusters["corr"])
+    ordered.extend(clean[third : 2 * third])
+    ordered.extend(clusters["loops"])
+    ordered.extend(clean[2 * third :])
+    ordered.extend(clusters["data"])
+    main_body = Block(ordered)
+    main = Procedure(f"{profile.name}_main", main_body)
+    return Program(procedures + [main], main=main.name)

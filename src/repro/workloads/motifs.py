@@ -1,0 +1,360 @@
+"""Reusable branch-behaviour motifs.
+
+Each motif builds a statement subtree exhibiting one behaviour class from
+the paper.  Benchmark analogues (:mod:`repro.workloads.generator`) are
+composed from these, with parameters drawn from a per-benchmark build
+RNG so that every instance is a distinct static-code unit.
+
+Correlation motifs take the *source* expression for the shared condition
+as a parameter: a Markov source makes the leading branch dynamically
+predictable but statically unpredictable (the common case in real code),
+a Bernoulli source makes it noise that only the correlated follower can
+benefit from.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.workloads.conditions import (
+    AndExpr,
+    BernoulliExpr,
+    ConstExpr,
+    Expr,
+    MarkovExpr,
+    NotExpr,
+    OrExpr,
+    PatternExpr,
+    PhaseExpr,
+    SelfHistoryExpr,
+    TripCountGenerator,
+)
+from repro.workloads.conditions import VarExpr
+from repro.workloads.conditions import CounterBelowExpr
+from repro.workloads.program import (
+    AddCounter,
+    Assign,
+    Block,
+    Call,
+    ForLoop,
+    If,
+    SetCounter,
+    Statement,
+    WhileLoop,
+)
+
+
+def biased_branch(probability: float) -> Statement:
+    """A single branch taken with fixed probability (bias class)."""
+    return If(BernoulliExpr(probability))
+
+
+def biased_run(rng: random.Random, count: int, low: float, high: float) -> Statement:
+    """A straight-line block of heavily biased branches.
+
+    Real code is dominated by error checks and rarely-changing guards;
+    the paper finds that roughly 45% of dynamic branches are more than
+    99% biased.  This motif supplies that mass cheaply.
+    """
+    branches: List[Statement] = []
+    for _ in range(count):
+        probability = rng.uniform(low, high)
+        if rng.random() < 0.35:
+            probability = 1.0 - probability
+        branches.append(If(BernoulliExpr(probability)))
+    return Block(branches)
+
+
+def data_branch(probability: float) -> Statement:
+    """A weakly biased, history-independent branch (hard for everyone)."""
+    return If(BernoulliExpr(probability))
+
+
+def markov_branch(p_stay: float) -> Statement:
+    """A branch driven by temporally-correlated data (non-repeating class)."""
+    return If(MarkovExpr(p_stay))
+
+
+def self_history_branch(
+    rng: random.Random, depth: int, flip_probability: float
+) -> Statement:
+    """A branch predictable from its own history but never periodic.
+
+    The truth table is drawn at build time and rejected if constant (a
+    constant function would be a biased branch, not a non-repeating
+    pattern).
+    """
+    size = 1 << depth
+    while True:
+        table = [rng.random() < 0.5 for _ in range(size)]
+        if any(table) and not all(table):
+            break
+    return If(SelfHistoryExpr(table, depth, flip_probability))
+
+
+def pattern_branch(pattern: List[bool]) -> Statement:
+    """A branch repeating a fixed outcome pattern (fixed-length class)."""
+    return If(PatternExpr(pattern))
+
+
+def block_pattern_branch(taken_run: int, not_taken_run: int) -> Statement:
+    """A branch taken n times then not-taken m times (block class)."""
+    return If(PatternExpr([True] * taken_run + [False] * not_taken_run))
+
+
+def phased_branch(period: int, p_first: float, p_second: float) -> Statement:
+    """A branch whose bias flips between program phases."""
+    return If(PhaseExpr(period, BernoulliExpr(p_first), BernoulliExpr(p_second)))
+
+
+def correlated_pair(
+    prefix: str,
+    first_source: Expr,
+    p_second: float = 0.6,
+    filler: int = 0,
+    filler_bias: float = 0.9,
+) -> Statement:
+    """Figure 1a: ``if (cond1) ... if (cond1 AND cond2)``.
+
+    The second branch is fully determined by the first whenever cond1 is
+    false; ``filler`` biased branches can be placed between the pair to
+    control the correlation distance (figure 5's subject).
+    """
+    c1 = f"{prefix}_c1"
+    c2 = f"{prefix}_c2"
+    statements: List[Statement] = [
+        Assign(c1, first_source),
+        Assign(c2, BernoulliExpr(p_second)),
+        If(VarExpr(c1)),
+    ]
+    statements.extend(If(BernoulliExpr(filler_bias)) for _ in range(filler))
+    statements.append(If(AndExpr(VarExpr(c1), VarExpr(c2))))
+    return Block(statements)
+
+
+def assignment_correlation(
+    prefix: str, condition_source: Expr, p_background: float = 0.3
+) -> Statement:
+    """Figure 1b: ``if (cond1) a = 2; ... if (a == 0)``.
+
+    The flag tested by the second branch is set on the first branch's
+    taken path, so the second branch's outcome is generated *based on*
+    the first's outcome -- the paper's second kind of direction
+    correlation.
+    """
+    c1 = f"{prefix}_c1"
+    flag = f"{prefix}_flag"
+    return Block(
+        [
+            Assign(flag, BernoulliExpr(p_background)),
+            Assign(c1, condition_source),
+            If(VarExpr(c1), then_body=Assign(flag, ConstExpr(True))),
+            If(VarExpr(flag)),
+        ]
+    )
+
+
+def if_elif_chain(
+    prefix: str,
+    first_source: Expr,
+    second_source: Expr,
+    p_arm: float = 0.6,
+) -> Statement:
+    """Figure 2: an if/elif chain followed by a branch on the chain's conditions.
+
+    Reaching the third arm implies the first two conditions were false
+    (their negations true), so *being in the path* -- not the arm's own
+    direction -- predicts the later ``if (cond1 AND cond2)`` branch.
+    """
+    c1 = f"{prefix}_c1"
+    c2 = f"{prefix}_c2"
+    chain = If(
+        NotExpr(VarExpr(c1)),
+        then_body=biased_branch(0.8),
+        else_body=If(
+            NotExpr(VarExpr(c2)),
+            then_body=biased_branch(0.85),
+            else_body=If(BernoulliExpr(p_arm)),
+        ),
+    )
+    return Block(
+        [
+            Assign(c1, first_source),
+            Assign(c2, second_source),
+            chain,
+            If(AndExpr(VarExpr(c1), VarExpr(c2))),
+        ]
+    )
+
+
+def for_loop(trips: TripCountGenerator, body: Statement) -> Statement:
+    """A for-type loop (backward branch, taken n times then not-taken)."""
+    return ForLoop(trips, body)
+
+
+def while_loop(trips: TripCountGenerator, body: Statement) -> Statement:
+    """A while-type loop (forward exit branch, not-taken n times then taken)."""
+    return WhileLoop(trips, body)
+
+
+def loop_nest(
+    outer_trips: TripCountGenerator,
+    inner_trips: TripCountGenerator,
+    inner_body: Statement,
+) -> Statement:
+    """Two nested for-loops (image-processing style row/column scans)."""
+    return ForLoop(outer_trips, ForLoop(inner_trips, inner_body))
+
+
+def call_site_pair(prefix: str, callee: str, p_alternate: float = 0.7) -> Statement:
+    """Two call sites priming a mode flag the callee branches on.
+
+    The callee's branch outcome depends on *where it was called from* --
+    the subroutine-entry in-path correlation the paper describes: "If the
+    current branch is at the beginning of a subroutine, its outcome may
+    depend on where the subroutine was called from."
+    """
+    mode = f"{callee}_mode"
+    return Block(
+        [
+            Assign(mode, ConstExpr(True)),
+            Call(callee),
+            If(BernoulliExpr(0.95)),
+            Assign(mode, BernoulliExpr(p_alternate)),
+            Call(callee),
+        ]
+    )
+
+
+def make_callee_body(callee: str, extra_branches: int = 2) -> Statement:
+    """Body for a procedure used by :func:`call_site_pair`."""
+    mode = f"{callee}_mode"
+    statements: List[Statement] = [If(VarExpr(mode))]
+    statements.extend(
+        If(OrExpr(VarExpr(mode), BernoulliExpr(0.15)))
+        for _ in range(extra_branches)
+    )
+    return Block(statements)
+
+
+def random_pattern(rng: random.Random, length: int) -> List[bool]:
+    """A random, non-trivial fixed pattern of the given length."""
+    if length < 2:
+        raise ValueError(f"pattern length must be >= 2, got {length}")
+    while True:
+        pattern = [rng.random() < 0.5 for _ in range(length)]
+        if any(pattern) and not all(pattern):
+            return pattern
+
+
+def gated_loop(prefix: str, trips: TripCountGenerator, body: Statement, p_enter: float = 0.8) -> Statement:
+    """A guarded loop: the guard correlates with the loop branches behind it."""
+    guard = f"{prefix}_enter"
+    return Block(
+        [
+            Assign(guard, BernoulliExpr(p_enter)),
+            If(VarExpr(guard), then_body=ForLoop(trips, body)),
+        ]
+    )
+
+
+def correlated_triple(
+    prefix: str,
+    p_first: float,
+    p_second: float,
+    filler: int = 0,
+    filler_bias: float = 0.92,
+) -> Statement:
+    """Figure 1c: ``if (c1) ... if (c2) ... if (c1 AND c2)``.
+
+    Both conditions are tested by *separate* prior branches, so a
+    1-branch selective history captures only half the information and a
+    2-branch history determines the final branch exactly -- the paper's
+    case for correlation with multiple branches.
+    """
+    c1 = f"{prefix}_c1"
+    c2 = f"{prefix}_c2"
+    statements: List[Statement] = [
+        Assign(c1, BernoulliExpr(p_first)),
+        Assign(c2, BernoulliExpr(p_second)),
+        If(VarExpr(c1)),
+        If(VarExpr(c2)),
+    ]
+    statements.extend(If(BernoulliExpr(filler_bias)) for _ in range(filler))
+    statements.append(If(AndExpr(VarExpr(c1), VarExpr(c2))))
+    return Block(statements)
+
+
+def correlated_quad(
+    prefix: str,
+    p_first: float,
+    p_second: float,
+    p_third: float,
+) -> Statement:
+    """Three observable conditions feeding one branch.
+
+    ``if (c1) ... if (c2) ... if (c3) ... if (c1 AND (c2 OR c3))``:
+    a 3-branch selective history is needed to pin the final branch down.
+    """
+    c1 = f"{prefix}_c1"
+    c2 = f"{prefix}_c2"
+    c3 = f"{prefix}_c3"
+    return Block(
+        [
+            Assign(c1, BernoulliExpr(p_first)),
+            Assign(c2, BernoulliExpr(p_second)),
+            Assign(c3, BernoulliExpr(p_third)),
+            If(VarExpr(c1)),
+            If(VarExpr(c2)),
+            If(VarExpr(c3)),
+            If(AndExpr(VarExpr(c1), OrExpr(VarExpr(c2), VarExpr(c3)))),
+        ]
+    )
+
+
+def make_recursive_procedure(
+    callee: str,
+    max_depth: int,
+    p_continue: float,
+) -> "Procedure":
+    """A depth-guarded self-calling procedure (xlisp-style recursion).
+
+    The recursion branch is taken with probability ``p_continue`` while
+    the depth counter is below ``max_depth``; its outcome therefore
+    correlates with call depth, and the leaf branch behind it sees a
+    depth-dependent path -- behaviour only recursion produces.
+    """
+    from repro.workloads.program import Procedure
+
+    depth = f"{callee}_depth"
+    body = Block(
+        [
+            If(
+                AndExpr(
+                    CounterBelowExpr(depth, max_depth),
+                    BernoulliExpr(p_continue),
+                ),
+                then_body=Block(
+                    [
+                        AddCounter(depth, 1),
+                        Call(callee),
+                        AddCounter(depth, -1),
+                    ]
+                ),
+                else_body=If(BernoulliExpr(0.9)),  # leaf work
+            ),
+        ]
+    )
+    return Procedure(callee, body)
+
+
+def recursive_descent(prefix: str, callee: str) -> Statement:
+    """Call site for :func:`make_recursive_procedure`."""
+    depth = f"{callee}_depth"
+    return Block(
+        [
+            SetCounter(depth, 0),
+            Call(callee),
+        ]
+    )

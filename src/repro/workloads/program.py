@@ -1,0 +1,319 @@
+"""Structured-program IR and the trace-emitting interpreter.
+
+A :class:`Program` is a set of procedures built from structured
+statements (blocks, ifs, for/while loops, calls, assignments).  Layout
+assigns every branch site a fixed address, with loop branches backward
+and if/while-exit branches forward, so traces carry realistic
+direction information for the backward-branch tagging scheme
+(section 3.2) and the BTFNT baseline.  Execution interprets the program
+against an :class:`Environment` (boolean variables + seeded RNG) and
+emits one trace record per executed conditional branch.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.trace.trace import Trace, TraceBuilder
+from repro.workloads.conditions import Expr, TripCountGenerator
+
+#: Address stride between instruction slots.
+ADDRESS_STRIDE = 4
+
+
+class Environment:
+    """Mutable program state: variables, counters, and the workload RNG.
+
+    Variables are booleans (branch conditions); counters are integers
+    (recursion depths, element counts) read through
+    :class:`~repro.workloads.conditions.CounterBelowExpr`.
+    """
+
+    __slots__ = ("variables", "counters", "rng")
+
+    def __init__(self, rng: random.Random) -> None:
+        self.variables: Dict[str, bool] = {}
+        self.counters: Dict[str, int] = {}
+        self.rng = rng
+
+
+class _AddressAllocator:
+    """Hands out increasing instruction addresses."""
+
+    def __init__(self, start: int = 0x1000) -> None:
+        self._next = start
+
+    def allocate(self) -> int:
+        address = self._next
+        self._next += ADDRESS_STRIDE
+        return address
+
+
+class _TraceComplete(Exception):
+    """Raised internally when the requested trace length is reached."""
+
+
+class _Emitter:
+    """Collects emitted branches and stops execution at the target length."""
+
+    def __init__(self, target_length: int) -> None:
+        self.builder = TraceBuilder()
+        self._target = target_length
+
+    def emit(self, pc: int, target: int, taken: bool) -> None:
+        self.builder.append(pc, target, taken)
+        if len(self.builder) >= self._target:
+            raise _TraceComplete
+
+
+class Statement(abc.ABC):
+    """A structured-program statement."""
+
+    @abc.abstractmethod
+    def layout(self, allocator: _AddressAllocator) -> None:
+        """Assign addresses to this statement's branch sites."""
+
+    @abc.abstractmethod
+    def execute(self, env: Environment, emitter: _Emitter, program: "Program") -> None:
+        """Interpret the statement, emitting branches as they execute."""
+
+
+class Block(Statement):
+    """A sequence of statements."""
+
+    def __init__(self, statements: Sequence[Statement]) -> None:
+        self.statements: List[Statement] = list(statements)
+
+    def layout(self, allocator: _AddressAllocator) -> None:
+        for statement in self.statements:
+            statement.layout(allocator)
+
+    def execute(self, env: Environment, emitter: _Emitter, program: "Program") -> None:
+        for statement in self.statements:
+            statement.execute(env, emitter, program)
+
+
+class Assign(Statement):
+    """Evaluate an expression and store it in a variable (no branch)."""
+
+    def __init__(self, name: str, expr: Expr) -> None:
+        self.name = name
+        self.expr = expr
+
+    def layout(self, allocator: _AddressAllocator) -> None:
+        pass
+
+    def execute(self, env: Environment, emitter: _Emitter, program: "Program") -> None:
+        env.variables[self.name] = bool(self.expr.evaluate(env))
+
+
+class Effect(Statement):
+    """Run an arbitrary environment mutation (no branch)."""
+
+    def __init__(self, action: Callable[[Environment], None]) -> None:
+        self.action = action
+
+    def layout(self, allocator: _AddressAllocator) -> None:
+        pass
+
+    def execute(self, env: Environment, emitter: _Emitter, program: "Program") -> None:
+        self.action(env)
+
+
+class If(Statement):
+    """A conditional: one forward branch, taken when the condition holds."""
+
+    def __init__(
+        self,
+        condition: Expr,
+        then_body: Optional[Statement] = None,
+        else_body: Optional[Statement] = None,
+    ) -> None:
+        self.condition = condition
+        self.then_body = then_body
+        self.else_body = else_body
+        self.pc = -1
+        self.target = -1
+
+    def layout(self, allocator: _AddressAllocator) -> None:
+        self.pc = allocator.allocate()
+        if self.then_body is not None:
+            self.then_body.layout(allocator)
+        if self.else_body is not None:
+            self.else_body.layout(allocator)
+        # Forward target: past the whole statement.
+        self.target = allocator.allocate()
+
+    def execute(self, env: Environment, emitter: _Emitter, program: "Program") -> None:
+        outcome = bool(self.condition.evaluate(env))
+        emitter.emit(self.pc, self.target, outcome)
+        body = self.then_body if outcome else self.else_body
+        if body is not None:
+            body.execute(env, emitter, program)
+
+
+class ForLoop(Statement):
+    """A bottom-tested loop: backward branch taken while iterating.
+
+    The trip generator yields the number of body executions t (>= 1);
+    the loop-closing branch executes t times -- taken t-1 times, then
+    not-taken once -- the paper's for-type behaviour.
+    """
+
+    def __init__(self, trips: TripCountGenerator, body: Statement) -> None:
+        self.trips = trips
+        self.body = body
+        self.start = -1
+        self.pc = -1
+
+    def layout(self, allocator: _AddressAllocator) -> None:
+        self.start = allocator.allocate()
+        self.body.layout(allocator)
+        self.pc = allocator.allocate()  # after the body: backward branch
+
+    def execute(self, env: Environment, emitter: _Emitter, program: "Program") -> None:
+        trip_count = max(1, int(self.trips(env)))
+        for iteration in range(trip_count):
+            self.body.execute(env, emitter, program)
+            emitter.emit(self.pc, self.start, iteration < trip_count - 1)
+
+
+class WhileLoop(Statement):
+    """A top-tested loop: forward exit branch, taken once to leave.
+
+    The trip generator yields the number of body executions t (>= 0);
+    the exit branch executes t+1 times -- not-taken t times, then taken
+    once -- the paper's while-type behaviour.
+    """
+
+    def __init__(self, trips: TripCountGenerator, body: Statement) -> None:
+        self.trips = trips
+        self.body = body
+        self.pc = -1
+        self.target = -1
+
+    def layout(self, allocator: _AddressAllocator) -> None:
+        self.pc = allocator.allocate()
+        self.body.layout(allocator)
+        self.target = allocator.allocate()  # forward: past the loop
+
+    def execute(self, env: Environment, emitter: _Emitter, program: "Program") -> None:
+        trip_count = max(0, int(self.trips(env)))
+        for _iteration in range(trip_count):
+            emitter.emit(self.pc, self.target, False)
+            self.body.execute(env, emitter, program)
+        emitter.emit(self.pc, self.target, True)
+
+
+class AddCounter(Statement):
+    """Add ``delta`` to an integer counter (no branch)."""
+
+    def __init__(self, name: str, delta: int) -> None:
+        self.name = name
+        self.delta = delta
+
+    def layout(self, allocator: _AddressAllocator) -> None:
+        pass
+
+    def execute(self, env: Environment, emitter: _Emitter, program: "Program") -> None:
+        env.counters[self.name] = env.counters.get(self.name, 0) + self.delta
+
+
+class SetCounter(Statement):
+    """Set an integer counter (no branch)."""
+
+    def __init__(self, name: str, value: int) -> None:
+        self.name = name
+        self.value = value
+
+    def layout(self, allocator: _AddressAllocator) -> None:
+        pass
+
+    def execute(self, env: Environment, emitter: _Emitter, program: "Program") -> None:
+        env.counters[self.name] = self.value
+
+
+class Call(Statement):
+    """Invoke another procedure by name.
+
+    Procedures may call themselves (directly or mutually); guard the
+    recursion with a depth counter or the interpreter will recurse until
+    Python's limit.
+    """
+
+    def __init__(self, callee: str) -> None:
+        self.callee = callee
+
+    def layout(self, allocator: _AddressAllocator) -> None:
+        pass
+
+    def execute(self, env: Environment, emitter: _Emitter, program: "Program") -> None:
+        program.procedure(self.callee).body.execute(env, emitter, program)
+
+
+class Procedure:
+    """A named procedure with a single body statement."""
+
+    def __init__(self, name: str, body: Statement) -> None:
+        self.name = name
+        self.body = body
+
+
+class Program:
+    """A complete synthetic program.
+
+    Args:
+        procedures: All procedures; addresses are laid out in the given
+            order.
+        main: Name of the procedure executed repeatedly to produce the
+            trace.
+    """
+
+    def __init__(self, procedures: Sequence[Procedure], main: str) -> None:
+        self._procedures = {proc.name: proc for proc in procedures}
+        if len(self._procedures) != len(procedures):
+            raise ValueError("duplicate procedure names")
+        if main not in self._procedures:
+            raise ValueError(f"main procedure {main!r} not defined")
+        self._main = main
+        allocator = _AddressAllocator()
+        for proc in procedures:
+            proc.body.layout(allocator)
+
+    def procedure(self, name: str) -> Procedure:
+        try:
+            return self._procedures[name]
+        except KeyError:
+            raise KeyError(f"undefined procedure {name!r}") from None
+
+    @property
+    def main(self) -> str:
+        return self._main
+
+
+def execute_program(program: Program, num_branches: int, seed: int) -> Trace:
+    """Run ``program`` until ``num_branches`` conditional branches execute.
+
+    The main procedure is invoked repeatedly (an outer driver loop, like
+    a benchmark's main processing loop); the trace is cut at exactly
+    ``num_branches`` records.
+
+    Args:
+        program: The program to interpret.
+        num_branches: Target dynamic conditional branch count (> 0).
+        seed: Workload RNG seed; identical seeds reproduce identical
+            traces.
+    """
+    if num_branches < 1:
+        raise ValueError(f"num_branches must be >= 1, got {num_branches}")
+    env = Environment(random.Random(seed))
+    emitter = _Emitter(num_branches)
+    main_body = program.procedure(program.main).body
+    try:
+        while True:
+            main_body.execute(env, emitter, program)
+    except _TraceComplete:
+        pass
+    return emitter.builder.build()

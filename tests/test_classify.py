@@ -1,0 +1,134 @@
+"""Tests for the classification layer (sections 4 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import LabConfig
+from repro.analysis.runner import Lab
+from repro.classify.global_local import best_predictor_distribution
+from repro.classify.per_address import PER_ADDRESS_CLASSES, classify_per_address
+
+from conftest import interleave, trace_from_outcomes
+
+
+def synthetic_class_trace():
+    """One branch per per-address class, interleaved."""
+    import random
+
+    rng = random.Random(31)
+    n = 600
+    return interleave(
+        {
+            # ideal-static: heavily biased
+            0x10: [True] * n,
+            # loop: taken 14x then not-taken (beyond a 6-bit PAs history)
+            0x20: ([True] * 14 + [False]) * (n // 15),
+            # repeating: fixed pattern of length 5
+            0x30: [True, False, True, True, False] * (n // 5),
+            # non-repeating: own-history function with flips
+            0x40: _selfdep_outcomes(n, rng),
+        }
+    )
+
+
+def _selfdep_outcomes(n, rng):
+    table = [True, False, False, True]  # XNOR of last two
+    history = 0
+    outcomes = []
+    for _ in range(n):
+        value = table[history]
+        if rng.random() < 0.06:
+            value = not value
+        outcomes.append(value)
+        history = ((history << 1) | value) & 0b11
+    return outcomes
+
+
+class TestPerAddressClassification:
+    @pytest.fixture(scope="class")
+    def classification(self):
+        lab = Lab(synthetic_class_trace(), LabConfig(if_pas_history_bits=6))
+        return classify_per_address(lab)
+
+    def test_biased_branch_is_static(self, classification):
+        assert classification.class_of[0x10] == "ideal_static"
+
+    def test_loop_branch_detected(self, classification):
+        assert classification.class_of[0x20] == "loop"
+
+    def test_pattern_branch_detected(self, classification):
+        assert classification.class_of[0x30] == "repeating"
+
+    def test_selfdep_branch_is_non_repeating(self, classification):
+        assert classification.class_of[0x40] == "non_repeating"
+
+    def test_fractions_sum_to_one(self, classification):
+        assert sum(classification.dynamic_fractions.values()) == pytest.approx(1.0)
+
+    def test_fraction_labels(self, classification):
+        assert set(classification.dynamic_fractions) == set(PER_ADDRESS_CLASSES)
+
+    def test_members_partition(self, classification):
+        all_members = set()
+        for label in PER_ADDRESS_CLASSES:
+            members = classification.members(label)
+            assert not (members & all_members)
+            all_members |= members
+        assert all_members == set(classification.class_of)
+
+    def test_members_unknown_label_rejected(self, classification):
+        with pytest.raises(KeyError):
+            classification.members("mystery")
+
+    def test_static_best_biased_fraction(self, classification):
+        # The only static-best branch is 100% biased.
+        assert classification.static_best_biased_fraction == pytest.approx(1.0)
+
+
+class TestBestPredictorDistribution:
+    def test_static_wins_ties(self):
+        trace = interleave({1: [True] * 10})
+        static = np.ones(10, dtype=bool)
+        same = np.ones(10, dtype=bool)
+        dist = best_predictor_distribution(trace, {"dyn": [same]}, static)
+        assert dist.best_of[1] == "ideal_static"
+
+    def test_group_best_member_counts(self):
+        trace = interleave({1: [True] * 10})
+        weak = np.zeros(10, dtype=bool)
+        strong = np.ones(10, dtype=bool)
+        static = np.zeros(10, dtype=bool)
+        dist = best_predictor_distribution(
+            trace, {"dyn": [weak, strong]}, static
+        )
+        assert dist.best_of[1] == "dyn"
+
+    def test_earlier_group_wins_ties(self):
+        trace = interleave({1: [True] * 10})
+        bitmap = np.ones(10, dtype=bool)
+        static = np.zeros(10, dtype=bool)
+        dist = best_predictor_distribution(
+            trace, {"first": [bitmap], "second": [bitmap.copy()]}, static
+        )
+        assert dist.best_of[1] == "first"
+
+    def test_fractions_are_dynamic_weighted(self):
+        trace = interleave({1: [True] * 9, 2: [True]})
+        static = np.zeros(10, dtype=bool)
+        a = np.zeros(10, dtype=bool)
+        idx1 = trace.indices_by_pc()[1]
+        a[idx1] = True
+        dist = best_predictor_distribution(trace, {"a": [a]}, static)
+        assert dist.dynamic_fractions["a"] == pytest.approx(0.9)
+
+    def test_empty_group_rejected(self):
+        trace = interleave({1: [True]})
+        with pytest.raises(ValueError):
+            best_predictor_distribution(trace, {"a": []}, np.ones(1, bool))
+
+    def test_misaligned_bitmaps_rejected(self):
+        trace = interleave({1: [True] * 3})
+        with pytest.raises(ValueError):
+            best_predictor_distribution(
+                trace, {"a": [np.ones(2, bool)]}, np.ones(3, bool)
+            )

@@ -1,0 +1,28 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_single_experiment(self, capsys):
+        assert main(["table1", "--max-length", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "vortex" in out
+
+    def test_duplicates_run_once(self, capsys):
+        assert main(["table1", "table1", "--max-length", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("running table1") == 1
+
+    def test_gshare_override(self, capsys):
+        assert main(["fig9", "--max-length", "2000", "--gshare-history", "8"]) == 0
+
+    def test_seed_changes_workload(self, capsys):
+        assert main(["table1", "--max-length", "2000", "--seed", "99"]) == 0

@@ -1,0 +1,52 @@
+"""Tests for the pipeline cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cost import PipelineModel
+
+
+class TestPipelineModel:
+    def test_perfect_prediction_is_base_cpi(self):
+        model = PipelineModel(base_cpi=1.0)
+        assert model.cpi(1.0) == pytest.approx(1.0)
+
+    def test_cpi_formula(self):
+        model = PipelineModel(
+            base_cpi=1.0, branch_fraction=0.2, misprediction_penalty=10.0
+        )
+        # 5% misprediction rate: 1.0 + 0.2 * 0.05 * 10 = 1.1
+        assert model.cpi(0.95) == pytest.approx(1.1)
+
+    def test_speedup_direction(self):
+        model = PipelineModel()
+        assert model.speedup(0.90, 0.95) > 1.0
+        assert model.speedup(0.95, 0.90) < 1.0
+        assert model.speedup(0.93, 0.93) == pytest.approx(1.0)
+
+    def test_mpki(self):
+        model = PipelineModel(branch_fraction=0.2)
+        assert model.mispredictions_per_kilo_instruction(0.95) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineModel(base_cpi=0.0)
+        with pytest.raises(ValueError):
+            PipelineModel(branch_fraction=1.5)
+        with pytest.raises(ValueError):
+            PipelineModel(misprediction_penalty=-1.0)
+        with pytest.raises(ValueError):
+            PipelineModel().cpi(1.5)
+        with pytest.raises(ValueError):
+            PipelineModel().mispredictions_per_kilo_instruction(-0.1)
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_property_higher_accuracy_never_slower(self, a, b):
+        model = PipelineModel()
+        low, high = min(a, b), max(a, b)
+        assert model.cpi(high) <= model.cpi(low)
+
+    @given(st.floats(0.5, 1.0))
+    def test_property_cpi_at_least_base(self, accuracy):
+        model = PipelineModel(base_cpi=1.2)
+        assert model.cpi(accuracy) >= 1.2

@@ -1,0 +1,151 @@
+"""Tests for saturating counters and PHT storage."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictors.counters import (
+    CounterTable,
+    SaturatingCounter,
+    SparseCounterBank,
+)
+
+
+class TestSaturatingCounter:
+    def test_default_is_weakly_taken(self):
+        counter = SaturatingCounter()
+        assert counter.value == 2
+        assert counter.predict() is True
+
+    def test_increment_saturates(self):
+        counter = SaturatingCounter(bits=2, initial=3)
+        counter.update(True)
+        assert counter.value == 3
+
+    def test_decrement_saturates(self):
+        counter = SaturatingCounter(bits=2, initial=0)
+        counter.update(False)
+        assert counter.value == 0
+
+    def test_hysteresis(self):
+        # From strongly-taken, one not-taken outcome must not flip the
+        # prediction -- the defining 2-bit counter behaviour.
+        counter = SaturatingCounter(bits=2, initial=3)
+        counter.update(False)
+        assert counter.predict() is True
+        counter.update(False)
+        assert counter.predict() is False
+
+    def test_one_bit_counter(self):
+        counter = SaturatingCounter(bits=1, initial=0)
+        assert counter.predict() is False
+        counter.update(True)
+        assert counter.predict() is True
+
+    def test_three_bit_threshold(self):
+        counter = SaturatingCounter(bits=3, initial=3)
+        assert counter.predict() is False
+        counter.update(True)
+        assert counter.predict() is True
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=4)
+
+    def test_is_saturated(self):
+        assert SaturatingCounter(bits=2, initial=0).is_saturated()
+        assert SaturatingCounter(bits=2, initial=3).is_saturated()
+        assert not SaturatingCounter(bits=2, initial=2).is_saturated()
+
+    @given(st.lists(st.booleans(), max_size=200), st.integers(1, 4))
+    def test_property_value_stays_in_range(self, updates, bits):
+        counter = SaturatingCounter(bits=bits)
+        for taken in updates:
+            counter.update(taken)
+            assert 0 <= counter.value <= counter.max_value
+
+    @given(st.integers(2, 4))
+    def test_property_saturation_needs_width_flips(self, bits):
+        """From full saturation, flipping the prediction takes 2**(bits-1)
+        opposite outcomes."""
+        counter = SaturatingCounter(bits=bits, initial=(1 << bits) - 1)
+        flips = 0
+        while counter.predict():
+            counter.update(False)
+            flips += 1
+        assert flips == 1 << (bits - 1)
+
+
+class TestCounterTable:
+    def test_independent_entries(self):
+        table = CounterTable(4)
+        table.update(0, True)
+        table.update(0, True)
+        table.update(1, False)
+        table.update(1, False)
+        table.update(1, False)
+        assert table.predict(0) is True
+        assert table.predict(1) is False
+
+    def test_len(self):
+        assert len(CounterTable(16)) == 16
+
+    def test_fill(self):
+        table = CounterTable(4)
+        table.fill(0)
+        assert not any(table.predict(i) for i in range(4))
+
+    def test_fill_range_check(self):
+        with pytest.raises(ValueError):
+            CounterTable(4).fill(9)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CounterTable(0)
+
+    def test_matches_single_counter(self):
+        """A 1-entry table behaves exactly like one SaturatingCounter."""
+        table = CounterTable(1)
+        counter = SaturatingCounter()
+        for taken in [True, False, False, True, False, False, False, True]:
+            assert table.predict(0) == counter.predict()
+            table.update(0, taken)
+            counter.update(taken)
+            assert table.value(0) == counter.value
+
+
+class TestSparseCounterBank:
+    def test_missing_key_uses_initial(self):
+        bank = SparseCounterBank()
+        assert bank.predict("anything") is True  # weakly taken default
+
+    def test_updates_tracked_per_key(self):
+        bank = SparseCounterBank()
+        bank.update("a", False)
+        bank.update("a", False)
+        bank.update("b", True)
+        assert bank.predict("a") is False
+        assert bank.predict("b") is True
+
+    def test_len_counts_touched_keys(self):
+        bank = SparseCounterBank()
+        bank.update(1, True)
+        bank.update(2, True)
+        bank.update(1, False)
+        assert len(bank) == 2
+
+    def test_matches_dense_counter(self):
+        bank = SparseCounterBank()
+        counter = SaturatingCounter()
+        for taken in [False, False, True, True, True, False]:
+            assert bank.predict("k") == counter.predict()
+            bank.update("k", taken)
+            counter.update(taken)
+            assert bank.value("k") == counter.value
+
+    def test_custom_initial(self):
+        bank = SparseCounterBank(initial=0)
+        assert bank.predict("x") is False

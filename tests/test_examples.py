@@ -1,0 +1,56 @@
+"""Smoke tests for the example scripts.
+
+Each example imports cleanly (guarding against API drift), and the two
+cheap ones run end-to-end.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_all_examples_present(self):
+        names = {path.stem for path in EXAMPLES}
+        assert {
+            "quickstart",
+            "correlation_analysis",
+            "custom_workload",
+            "hybrid_predictors",
+            "pipeline_cost",
+            "reproduce_paper",
+            "offender_analysis",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_imports(self, path):
+        module = load_example(path)
+        assert hasattr(module, "main")
+        assert module.__doc__, "examples must explain themselves"
+
+    def test_custom_workload_runs(self, capsys):
+        module = load_example(EXAMPLES_DIR / "custom_workload.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "per-branch classification" in out
+        assert "loop" in out
+
+    def test_pipeline_cost_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["pipeline_cost.py", "compress"])
+        module = load_example(EXAMPLES_DIR / "pipeline_cost.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "CPI" in out
+        assert "speedup" in out

@@ -1,0 +1,128 @@
+"""Tests for the experiment suite (every table and figure runs)."""
+
+import pytest
+
+from repro.analysis.config import LabConfig
+from repro.analysis.runner import Lab
+from repro.experiments.base import (
+    EXPERIMENT_IDS,
+    EXTENSION_IDS,
+    build_labs,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.fig5 import HISTORY_LENGTHS
+from repro.workloads.suite import BENCHMARK_NAMES, load_benchmark
+
+
+@pytest.fixture(scope="module")
+def labs():
+    """Small labs over a 3-benchmark subset (keeps the module fast)."""
+    return {
+        name: Lab(load_benchmark(name, length=6000, run_seed=19))
+        for name in ("gcc", "m88ksim", "vortex")
+    }
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        registered = set(experiment_ids())
+        assert set(EXPERIMENT_IDS) <= registered
+        assert set(EXTENSION_IDS) <= registered
+        assert len(EXPERIMENT_IDS) == 9
+
+    def test_unknown_experiment_rejected(self, labs):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", labs)
+
+    def test_build_labs_covers_suite(self):
+        labs = build_labs(max_length=3000)
+        assert set(labs) == set(BENCHMARK_NAMES)
+
+
+class TestEveryExperimentRuns:
+    @pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+    def test_runs_and_renders(self, labs, experiment_id):
+        result = run_experiment(experiment_id, labs)
+        assert result.experiment_id == experiment_id
+        text = result.render()
+        assert text
+        # Every per-benchmark experiment mentions each benchmark.
+        for name in labs:
+            assert name in text
+        assert experiment_id in str(result)
+
+
+class TestExperimentSemantics:
+    def test_table1_row_counts(self, labs):
+        result = run_experiment("table1", labs)
+        assert result.rows["gcc"].trace_length == 6000
+        assert result.rows["gcc"].static_branches > 100
+
+    def test_fig4_accuracies_in_range(self, labs):
+        result = run_experiment("fig4", labs)
+        for row in result.rows.values():
+            for value in (
+                row.selective_1,
+                row.selective_2,
+                row.selective_3,
+                row.if_gshare,
+                row.gshare,
+            ):
+                assert 50.0 < value <= 100.0
+
+    def test_fig4_selective_monotone_in_ideal_terms(self, labs):
+        # Counter replay can dip slightly, but 3 branches should never be
+        # far below 1 branch.
+        result = run_experiment("fig4", labs)
+        for row in result.rows.values():
+            assert row.selective_3 >= row.selective_1 - 0.5
+
+    def test_fig5_has_all_history_lengths(self, labs):
+        result = run_experiment("fig5", labs)
+        for curve in result.curves.values():
+            assert set(curve) == set(HISTORY_LENGTHS)
+
+    def test_table2_combiner_never_below_gshare(self, labs):
+        result = run_experiment("table2", labs)
+        for row in result.rows.values():
+            assert row.gshare_with_corr >= row.gshare
+            assert row.if_gshare_with_corr >= row.if_gshare
+
+    def test_table2_gcc_gains_most(self, labs):
+        result = run_experiment("table2", labs)
+        gains = {name: row.gain for name, row in result.rows.items()}
+        assert gains["gcc"] == max(gains.values())
+
+    def test_fig6_fractions_sum_to_one(self, labs):
+        result = run_experiment("fig6", labs)
+        for classification in result.classifications.values():
+            assert sum(classification.dynamic_fractions.values()) == pytest.approx(1.0)
+
+    def test_table3_loop_combiner_changes_only_loop_branches(self, labs):
+        result = run_experiment("table3", labs)
+        for row in result.rows.values():
+            # Gains may be small but the construction must not corrupt
+            # overall accuracy ranges.
+            assert 50.0 < row.pas_with_loop <= 100.0
+
+    def test_fig7_fractions_sum_to_one(self, labs):
+        result = run_experiment("fig7", labs)
+        for dist in result.distributions.values():
+            assert sum(dist.dynamic_fractions.values()) == pytest.approx(1.0)
+
+    def test_fig8_static_best_no_larger_than_fig7(self, labs):
+        # Richer predictors can only shrink the static-best set.
+        fig7 = run_experiment("fig7", labs)
+        fig8 = run_experiment("fig8", labs)
+        for name in labs:
+            assert (
+                fig8.distributions[name].dynamic_fractions["ideal_static"]
+                <= fig7.distributions[name].dynamic_fractions["ideal_static"] + 1e-9
+            )
+
+    def test_fig9_curve_monotone(self, labs):
+        result = run_experiment("fig9", labs)
+        for curve in result.curves.values():
+            diffs = list(curve.differences)
+            assert diffs == sorted(diffs)

@@ -1,0 +1,56 @@
+"""Tests for experiment infrastructure and the paper-reference data."""
+
+import pytest
+
+from repro.analysis.config import LabConfig
+from repro.experiments.base import build_labs, register
+from repro.experiments.paper_reference import CLAIMS, TABLE2, TABLE3
+from repro.workloads.suite import BENCHMARK_NAMES
+
+
+class TestPaperReference:
+    def test_tables_cover_all_benchmarks(self):
+        assert set(TABLE2) == set(BENCHMARK_NAMES)
+        assert set(TABLE3) == set(BENCHMARK_NAMES)
+
+    def test_table2_combiners_never_lose(self):
+        # Internal consistency of the transcribed numbers: "w/ Corr" >=
+        # base in every row of the paper's table.
+        for gshare, with_corr, if_gshare, if_with_corr in TABLE2.values():
+            assert with_corr >= gshare
+            assert if_with_corr >= if_gshare
+
+    def test_table3_combiners_never_lose(self):
+        for pas, with_loop, if_pas, if_with_loop in TABLE3.values():
+            assert with_loop >= pas
+            assert if_with_loop >= if_pas
+
+    def test_paper_gcc_go_gain_most_in_table2(self):
+        gains = {
+            name: row[1] - row[0] for name, row in TABLE2.items()
+        }
+        ranked = sorted(gains, key=gains.get, reverse=True)
+        assert set(ranked[:2]) == {"gcc", "go"}
+
+    def test_every_figure_has_a_claim(self):
+        assert set(CLAIMS) == {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+
+
+class TestInfrastructure:
+    def test_duplicate_registration_rejected(self):
+        @register("test-dummy-experiment")
+        def dummy(labs):
+            return None
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register("test-dummy-experiment")(dummy)
+
+    def test_build_labs_propagates_config(self):
+        config = LabConfig(gshare_history_bits=4, gshare_pht_bits=6)
+        labs = build_labs(max_length=2000, config=config)
+        assert labs["gcc"].config is config
+
+    def test_build_labs_seed(self):
+        a = build_labs(max_length=2000, run_seed=1)
+        b = build_labs(max_length=2000, run_seed=2)
+        assert a["gcc"].trace != b["gcc"].trace

@@ -1,0 +1,57 @@
+"""Tests for the extension experiments."""
+
+import pytest
+
+from repro.analysis.runner import Lab
+from repro.experiments.base import EXTENSION_IDS, run_experiment
+from repro.workloads.suite import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def labs():
+    return {
+        name: Lab(load_benchmark(name, length=5000, run_seed=19))
+        for name in ("gcc", "vortex")
+    }
+
+
+class TestExtensionExperiments:
+    @pytest.mark.parametrize("experiment_id", EXTENSION_IDS)
+    def test_runs_and_renders(self, labs, experiment_id):
+        result = run_experiment(experiment_id, labs)
+        assert result.experiment_id == experiment_id
+        text = result.render()
+        for name in labs:
+            assert name in text
+
+    def test_interference_conflicts_hurt(self, labs):
+        result = run_experiment("ext_interference", labs)
+        for name, row in result.rows.items():
+            conflict_rate, conflict_miss, private_miss, occupancy = row
+            assert 0.0 <= conflict_rate <= 1.0
+            assert 0.0 < occupancy <= 1.0
+            if conflict_rate > 0.01:
+                assert conflict_miss > private_miss, name
+
+    def test_hybrid_close_to_best_component(self, labs):
+        result = run_experiment("ext_hybrid", labs)
+        for name, row in result.rows.items():
+            gshare, pas, hybrid, oracle, speedup = row
+            assert hybrid >= min(gshare, pas)
+            assert oracle >= max(gshare, pas) - 1e-9
+            assert speedup > 0.9
+
+    def test_taxonomy_orderings(self, labs):
+        result = run_experiment("ext_taxonomy", labs)
+        for name, row in result.rows.items():
+            # Address-selected PHTs beat a single shared PHT, and the
+            # idealised per-address second level beats both.
+            assert row["GAs"] > row["GAg"], name
+            assert row["PAp*"] >= row["PAg"] - 0.5, name
+
+    def test_profile_same_input_beats_cross_input(self, labs):
+        result = run_experiment("ext_profile", labs)
+        for name, row in result.rows.items():
+            adaptive, same, cross, chang = row
+            assert same >= cross, name
+            assert same >= adaptive - 0.5, name

@@ -1,0 +1,117 @@
+"""End-to-end integration tests: the paper's headline shapes.
+
+These run the real pipeline (workload generation -> simulation ->
+analysis) on reduced traces and assert the qualitative findings that
+DESIGN.md section 5 commits to.  They are slower than unit tests but
+anchor the reproduction as a whole.
+"""
+
+import pytest
+
+from repro.analysis.runner import Lab
+from repro.classify.per_address import classify_per_address
+from repro.predictors.hybrid import OracleCombiner
+from repro.workloads.suite import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def labs():
+    lengths = {"gcc": 20000, "go": 14000, "m88ksim": 13000, "vortex": 26000, "ijpeg": 16000}
+    return {
+        name: Lab(load_benchmark(name, length=length, run_seed=12345))
+        for name, length in lengths.items()
+    }
+
+
+class TestHeadlineShapes:
+    def test_go_is_the_hardest_benchmark(self, labs):
+        accuracies = {name: lab.accuracy("gshare") for name, lab in labs.items()}
+        assert min(accuracies, key=accuracies.get) == "go"
+
+    def test_vortex_and_m88ksim_are_easy(self, labs):
+        for name in ("vortex", "m88ksim"):
+            assert labs[name].accuracy("gshare") > labs["gcc"].accuracy("gshare")
+
+    def test_interference_free_gshare_beats_gshare(self, labs):
+        for name, lab in labs.items():
+            assert lab.accuracy("if_gshare") >= lab.accuracy("gshare") - 0.002, name
+
+    def test_interference_gap_largest_for_gcc_go(self, labs):
+        gaps = {
+            name: lab.accuracy("if_gshare") - lab.accuracy("gshare")
+            for name, lab in labs.items()
+        }
+        for easy in ("m88ksim", "vortex", "ijpeg"):
+            assert gaps["gcc"] > gaps[easy]
+            assert gaps["go"] > gaps[easy]
+
+    def test_selective_three_rivals_if_gshare(self, labs):
+        # Figure 4's headline: 3 oracle-chosen branches get within a
+        # couple of points of (here: meet or beat) an interference-free
+        # gshare using every recent outcome.
+        for name, lab in labs.items():
+            assert lab.selective_accuracy(3) > lab.accuracy("if_gshare") - 0.02, name
+
+    def test_selective_beats_plain_gshare(self, labs):
+        for name, lab in labs.items():
+            assert lab.selective_accuracy(1) > lab.accuracy("gshare") - 0.005, name
+
+    def test_gshare_with_corr_gains_most_on_gcc_go(self, labs):
+        gains = {}
+        for name, lab in labs.items():
+            combined = OracleCombiner.combine(
+                lab.trace, lab.correct("gshare"), lab.selective_correct(1)
+            )
+            gains[name] = float(combined.mean()) - lab.accuracy("gshare")
+        assert gains["gcc"] > gains["m88ksim"]
+        assert gains["go"] > gains["vortex"]
+
+    def test_loop_class_is_large_in_loop_benchmarks(self, labs):
+        fractions = {
+            name: classify_per_address(lab).dynamic_fractions["loop"]
+            for name, lab in labs.items()
+        }
+        assert fractions["ijpeg"] > 0.2
+        assert fractions["ijpeg"] > fractions["go"]
+
+    def test_loop_combiner_helps_ijpeg(self, labs):
+        lab = labs["ijpeg"]
+        loop_members = classify_per_address(lab).members("loop")
+        combined = OracleCombiner.combine_with_mask(
+            lab.trace, lab.correct("pas"), lab.correct("loop"), loop_members
+        )
+        assert float(combined.mean()) > lab.accuracy("pas")
+
+    def test_both_fig9_tails_exist(self, labs):
+        from repro.analysis.percentile import percentile_difference_curve
+
+        for name in ("gcc", "go"):
+            lab = labs[name]
+            curve = percentile_difference_curve(
+                lab.trace, lab.correct("gshare"), lab.correct("pas")
+            )
+            assert curve.tail(5) < -2.0   # PAs much better somewhere
+            assert curve.tail(97) > 0.5   # gshare much better somewhere
+
+    def test_biased_mass_dominates_static_best(self, labs):
+        # Most of the dynamic weight that no dynamic predictor beats
+        # belongs to heavily biased branches.
+        classification = classify_per_address(labs["vortex"])
+        assert classification.dynamic_fractions["ideal_static"] > 0.5
+        assert classification.static_best_biased_fraction > 0.3
+
+
+class TestReproducibility:
+    def test_full_pipeline_is_deterministic(self):
+        a = Lab(load_benchmark("compress", length=5000, run_seed=3))
+        b = Lab(load_benchmark("compress", length=5000, run_seed=3))
+        assert a.accuracy("gshare") == b.accuracy("gshare")
+        assert a.selective_accuracy(2) == b.selective_accuracy(2)
+
+    def test_different_inputs_same_program(self):
+        # Same static program (build seed), different "input data":
+        # accuracies differ but only modestly.
+        a = Lab(load_benchmark("compress", length=8000, run_seed=1))
+        b = Lab(load_benchmark("compress", length=8000, run_seed=2))
+        assert a.accuracy("gshare") != b.accuracy("gshare")
+        assert abs(a.accuracy("gshare") - b.accuracy("gshare")) < 0.05

@@ -1,0 +1,72 @@
+"""Tests for the PHT-interference measurement extension."""
+
+import random
+
+import pytest
+
+from repro.analysis.interference import measure_gshare_interference
+from repro.predictors.twolevel import GsharePredictor
+
+from conftest import interleave, trace_from_outcomes
+from repro.trace.trace import Trace
+
+
+class TestInterferenceReport:
+    def test_single_branch_has_no_conflicts(self):
+        trace = trace_from_outcomes([True, False] * 100)
+        report = measure_gshare_interference(trace, 4, 6)
+        assert report.conflict_accesses == 0
+        assert report.conflict_rate == 0.0
+
+    def test_accesses_equal_trace_length(self):
+        trace = trace_from_outcomes([True] * 50)
+        report = measure_gshare_interference(trace, 4, 6)
+        assert report.accesses == 50
+
+    def test_forced_conflicts_in_single_entry_pht(self):
+        # Two branches folded onto one PHT entry (their shifted
+        # addresses share the low bit): every access after the first
+        # alternation conflicts.
+        trace = interleave({0x100: [True] * 50, 0x108: [False] * 50})
+        report = measure_gshare_interference(trace, history_bits=0, pht_bits=1)
+        assert report.conflict_rate > 0.9
+        assert report.conflict_misprediction_rate > 0.5
+
+    def test_occupancy_bounds(self):
+        trace = trace_from_outcomes([True] * 100)
+        report = measure_gshare_interference(trace, 4, 8)
+        assert 0.0 < report.occupancy <= 1.0
+        assert report.occupied_entries <= report.pht_size
+
+    def test_misprediction_split_matches_gshare(self):
+        """Total mispredictions must equal the plain gshare simulation."""
+        rng = random.Random(41)
+        trace = interleave(
+            {pc: [rng.random() < 0.7 for _ in range(100)] for pc in range(0, 40, 4)}
+        )
+        report = measure_gshare_interference(trace, 8, 10)
+        gshare_misses = int((~GsharePredictor(8, 10).simulate(trace)).sum())
+        assert (
+            report.conflict_mispredictions + report.private_mispredictions
+            == gshare_misses
+        )
+
+    def test_parameter_validation(self):
+        trace = trace_from_outcomes([True])
+        with pytest.raises(ValueError):
+            measure_gshare_interference(trace, history_bits=-1)
+        with pytest.raises(ValueError):
+            measure_gshare_interference(trace, pht_bits=0)
+
+    def test_empty_trace(self):
+        report = measure_gshare_interference(Trace.empty(), 4, 6)
+        assert report.conflict_rate == 0.0
+        assert report.private_misprediction_rate == 0.0
+
+    def test_conflicts_mispredict_more_on_suite(self, small_gcc_trace):
+        report = measure_gshare_interference(small_gcc_trace, 16, 16)
+        assert report.conflict_accesses > 0
+        assert (
+            report.conflict_misprediction_rate
+            > report.private_misprediction_rate
+        )

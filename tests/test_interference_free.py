@@ -1,0 +1,123 @@
+"""Tests for interference-free gshare and PAs."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.predictors.base import simulate
+from repro.predictors.interference_free import (
+    InterferenceFreeGshare,
+    InterferenceFreePAs,
+)
+from repro.predictors.twolevel import GsharePredictor, PAsPredictor
+
+from conftest import interleave, trace_from_outcomes, trace_from_string
+
+
+class TestInterferenceFreeGshare:
+    def test_learns_periodic_pattern(self):
+        trace = trace_from_outcomes([True, True, False] * 300)
+        assert InterferenceFreeGshare(6).accuracy(trace) > 0.97
+
+    def test_no_cross_branch_interference(self):
+        # Two branches with identical global history patterns but
+        # opposite outcomes: private PHTs keep them apart, a shared
+        # 1-entry PHT could not.
+        trace = interleave({0x100: [True] * 300, 0x104: [False] * 300})
+        assert InterferenceFreeGshare(4).accuracy(trace) > 0.97
+
+    def test_beats_tiny_shared_gshare_under_conflict(self):
+        rng = random.Random(1)
+        sequences = {
+            0x100 + 4 * i: [rng.random() < 0.9 for _ in range(300)]
+            for i in range(8)
+        }
+        sequences[0x200] = [False] * 300
+        trace = interleave(sequences)
+        shared = GsharePredictor(history_bits=2, pht_bits=2).accuracy(trace)
+        private = InterferenceFreeGshare(2).accuracy(trace)
+        assert private > shared
+
+    def test_fast_path_matches_generic_loop(self, small_benchmark_trace):
+        trace = small_benchmark_trace[:2000]
+        fast = InterferenceFreeGshare(6).simulate(trace)
+        slow = simulate(InterferenceFreeGshare(6), trace)
+        assert np.array_equal(fast, slow)
+
+    def test_invalid_history(self):
+        with pytest.raises(ValueError):
+            InterferenceFreeGshare(history_bits=-1)
+
+    @settings(max_examples=20)
+    @given(st.lists(st.booleans(), min_size=1, max_size=150))
+    def test_property_fast_path_equals_slow_path(self, outcomes):
+        trace = trace_from_outcomes(outcomes)
+        fast = InterferenceFreeGshare(5).simulate(trace)
+        slow = simulate(InterferenceFreeGshare(5), trace)
+        assert np.array_equal(fast, slow)
+
+
+class TestInterferenceFreePAs:
+    def test_learns_alternation(self):
+        trace = trace_from_outcomes([True, False] * 300)
+        assert InterferenceFreePAs(4).accuracy(trace) > 0.97
+
+    def test_immune_to_interleaved_noise(self):
+        rng = random.Random(2)
+        periodic = [True, True, False] * 300
+        noise = [rng.random() < 0.5 for _ in range(900)]
+        trace = interleave({0x100: periodic, 0x200: noise})
+        correct = InterferenceFreePAs(6).simulate(trace)
+        periodic_indices = trace.indices_by_pc()[0x100]
+        assert correct[periodic_indices].mean() > 0.97
+
+    def test_cannot_predict_loop_exit_beyond_history(self):
+        # A loop of 20 iterations with an 4-bit history: every exit is a
+        # surprise -- the paper's point about IF PAs and long loops.
+        loop = ([True] * 20 + [False]) * 50
+        trace = trace_from_outcomes(loop)
+        accuracy = InterferenceFreePAs(4).accuracy(trace)
+        assert accuracy <= 20.5 / 21
+
+    def test_predicts_loop_exit_within_history(self):
+        loop = ([True] * 3 + [False]) * 200
+        trace = trace_from_outcomes(loop)
+        assert InterferenceFreePAs(6).accuracy(trace) > 0.97
+
+    def test_fast_path_matches_generic_loop(self, small_benchmark_trace):
+        trace = small_benchmark_trace[:2000]
+        fast = InterferenceFreePAs(6).simulate(trace)
+        slow = simulate(InterferenceFreePAs(6), trace)
+        assert np.array_equal(fast, slow)
+
+    def test_invalid_history(self):
+        with pytest.raises(ValueError):
+            InterferenceFreePAs(history_bits=-1)
+
+    def test_if_pas_beats_pas_under_destructive_bht_aliasing(self):
+        # A periodic branch sharing its lone history register with a
+        # random branch: the shared register scrambles the periodic
+        # branch's position information, private histories do not.
+        rng = random.Random(5)
+        periodic = [True, True, False] * 200
+        noise = [rng.random() < 0.5 for _ in range(600)]
+        trace = interleave({0x100: periodic, 0x104: noise})
+        pas = PAsPredictor(history_bits=4, bht_bits=0, pht_select_bits=0)
+        if_pas = InterferenceFreePAs(4)
+        pas_correct = pas.simulate(trace)
+        if_correct = if_pas.simulate(trace)
+        periodic_indices = trace.indices_by_pc()[0x100]
+        assert (
+            if_correct[periodic_indices].mean()
+            > pas_correct[periodic_indices].mean() + 0.05
+        )
+
+    @settings(max_examples=20)
+    @given(st.lists(st.booleans(), min_size=1, max_size=150))
+    def test_property_fast_path_equals_slow_path(self, outcomes):
+        trace = trace_from_outcomes(outcomes)
+        fast = InterferenceFreePAs(5).simulate(trace)
+        slow = simulate(InterferenceFreePAs(5), trace)
+        assert np.array_equal(fast, slow)

@@ -1,0 +1,83 @@
+"""Tests for the section-4.1.1 loop predictor."""
+
+import pytest
+
+from repro.predictors.loop import MAX_TRIP_COUNT, LoopPredictor
+
+from conftest import interleave, trace_from_outcomes
+
+
+def for_type(trips, repeats):
+    """For-type loop outcomes: taken (trips-1) times, not-taken once."""
+    return ([True] * (trips - 1) + [False]) * repeats
+
+
+def while_type(trips, repeats):
+    """While-type loop outcomes: not-taken trips times, taken once."""
+    return ([False] * trips + [True]) * repeats
+
+
+class TestLoopPredictor:
+    def test_perfect_on_stable_for_loop(self):
+        trace = trace_from_outcomes(for_type(7, 100))
+        correct = LoopPredictor().simulate(trace)
+        # After the first (training) loop execution, everything is
+        # predictable, including the exit.
+        assert correct[7:].all()
+
+    def test_perfect_on_stable_while_loop(self):
+        trace = trace_from_outcomes(while_type(5, 100))
+        correct = LoopPredictor().simulate(trace)
+        assert correct[6:].all()
+
+    def test_long_loop_beyond_any_history(self):
+        # 40-iteration loops: two-level predictors with short histories
+        # miss every exit; the loop predictor does not.
+        trace = trace_from_outcomes(for_type(40, 40))
+        correct = LoopPredictor().simulate(trace)
+        assert correct[40:].all()
+
+    def test_trip_count_change_costs_bounded_mispredictions(self):
+        outcomes = for_type(6, 20) + for_type(9, 20)
+        trace = trace_from_outcomes(outcomes)
+        correct = LoopPredictor().simulate(trace)
+        # Only the transition executions may mispredict.
+        assert (~correct[6:]).sum() <= 4
+
+    def test_adapts_direction_bit(self):
+        # Start at a loop's exit iteration: the first outcome (the rare
+        # direction) sets the direction bit wrong; the predictor must
+        # recover.
+        outcomes = [False] + for_type(5, 50)
+        trace = trace_from_outcomes(outcomes)
+        correct = LoopPredictor().simulate(trace)
+        assert correct[12:].all()
+
+    def test_saturates_at_max_trip_count(self):
+        trips = MAX_TRIP_COUNT + 50
+        trace = trace_from_outcomes(for_type(trips, 3))
+        accuracy = LoopPredictor().accuracy(trace)
+        # Body predictions are fine; only exits are missed.
+        assert accuracy >= 1.0 - 2 * 3 / (3 * trips)
+
+    def test_separate_state_per_branch(self):
+        trace = interleave(
+            {0x100: for_type(4, 50), 0x200: while_type(3, 50)}
+        )
+        correct = LoopPredictor().simulate(trace)
+        assert correct[20:].mean() > 0.98
+
+    def test_btb_size_counts_branches(self):
+        predictor = LoopPredictor()
+        trace = interleave({1: [True] * 4, 2: [False] * 4})
+        predictor.simulate(trace)
+        assert predictor.btb_size() == 2
+
+    def test_first_prediction_is_taken(self):
+        assert LoopPredictor().predict(0x100, 0x80) is True
+
+    def test_alternating_branch_is_not_catastrophic(self):
+        # T/N alternation is a degenerate "loop" of one body iteration;
+        # the predictor should track it after warmup rather than diverge.
+        trace = trace_from_outcomes([True, False] * 100)
+        assert LoopPredictor().accuracy(trace) > 0.9

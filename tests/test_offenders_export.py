@@ -1,0 +1,90 @@
+"""Tests for the offender report and the JSON export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.offenders import render_offenders, top_offenders
+from repro.analysis.runner import Lab
+from repro.experiments.base import run_experiment
+from repro.experiments.export import export_results, to_jsonable
+from repro.workloads.suite import load_benchmark
+
+from conftest import interleave
+
+
+class TestTopOffenders:
+    def test_ranking_by_misprediction_count(self):
+        trace = interleave({1: [True] * 10, 2: [True] * 10})
+        correct = np.ones(20, dtype=bool)
+        idx1 = trace.indices_by_pc()[1]
+        idx2 = trace.indices_by_pc()[2]
+        correct[idx1[:5]] = False
+        correct[idx2[:2]] = False
+        offenders = top_offenders(trace, correct)
+        assert [o.pc for o in offenders] == [1, 2]
+        assert offenders[0].mispredictions == 5
+        assert offenders[0].misprediction_share == pytest.approx(5 / 7)
+
+    def test_perfect_branches_excluded(self):
+        trace = interleave({1: [True] * 5, 2: [True] * 5})
+        correct = np.ones(10, dtype=bool)
+        correct[trace.indices_by_pc()[2]] = False
+        offenders = top_offenders(trace, correct)
+        assert [o.pc for o in offenders] == [2]
+
+    def test_count_limits_output(self):
+        trace = interleave({pc: [True] * 4 for pc in range(8)})
+        correct = np.zeros(32, dtype=bool)
+        assert len(top_offenders(trace, correct, count=3)) == 3
+
+    def test_validation(self):
+        trace = interleave({1: [True] * 4})
+        with pytest.raises(ValueError):
+            top_offenders(trace, np.ones(3, bool))
+        with pytest.raises(ValueError):
+            top_offenders(trace, np.ones(4, bool), count=0)
+
+    def test_render(self):
+        trace = interleave({0x40: [True] * 6})
+        correct = np.array([False] * 3 + [True] * 3)
+        text = render_offenders(top_offenders(trace, correct))
+        assert "0x40" in text
+        assert "50.00%" in text
+
+
+class TestJsonExport:
+    @pytest.fixture(scope="class")
+    def labs(self):
+        return {
+            "gcc": Lab(load_benchmark("gcc", length=3000, run_seed=19)),
+        }
+
+    @pytest.mark.parametrize(
+        "experiment_id",
+        ["table1", "fig4", "fig5", "table2", "fig6", "table3", "fig7", "fig8", "fig9"],
+    )
+    def test_every_result_is_jsonable(self, labs, experiment_id):
+        result = run_experiment(experiment_id, labs)
+        payload = to_jsonable(result)
+        text = json.dumps(payload)  # must not raise
+        assert experiment_id in text
+
+    def test_export_results_round_trip(self, labs, tmp_path):
+        result = run_experiment("table2", labs)
+        path = tmp_path / "out.json"
+        export_results({"table2": result}, str(path))
+        data = json.loads(path.read_text())
+        assert data["table2"]["experiment_id"] == "table2"
+        assert "gcc" in data["table2"]["rows"]
+
+    def test_numpy_scalars_converted(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int32(3)) == 3
+        assert to_jsonable(np.bool_(True)) is True
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())

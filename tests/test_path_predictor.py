@@ -1,0 +1,66 @@
+"""Tests for the Nair-style path-based predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.predictors.base import simulate
+from repro.predictors.path import PathBasedPredictor
+
+from conftest import trace_from_outcomes, trace_from_steps
+
+
+class TestPathBasedPredictor:
+    def test_learns_biased_branch(self):
+        trace = trace_from_outcomes([True] * 400)
+        assert PathBasedPredictor().accuracy(trace) > 0.99
+
+    def test_learns_path_determined_branch(self):
+        # Branch C's outcome equals whether control came through A-taken
+        # or A-not-taken; the path register distinguishes the two paths
+        # even though C's own history is unpredictable.
+        import random
+
+        rng = random.Random(11)
+        steps = []
+        for _ in range(400):
+            a_taken = rng.random() < 0.5
+            steps.append((0x100, 0x200, a_taken))
+            steps.append((0x300, 0x400, a_taken))  # determined by the path
+        trace = trace_from_steps(steps)
+        correct = PathBasedPredictor(depth=4, bits_per_address=4).simulate(trace)
+        c_indices = trace.indices_by_pc()[0x300]
+        assert correct[c_indices][20:].mean() > 0.95
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PathBasedPredictor(depth=0)
+        with pytest.raises(ValueError):
+            PathBasedPredictor(bits_per_address=0)
+
+    def test_fast_path_matches_generic_loop(self, small_benchmark_trace):
+        trace = small_benchmark_trace[:1500]
+        fast = PathBasedPredictor().simulate(trace)
+        slow = simulate(PathBasedPredictor(), trace)
+        assert np.array_equal(fast, slow)
+
+    @settings(max_examples=20)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 255),
+                st.integers(0, 255),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_property_fast_path_equals_slow_path(self, raw_steps):
+        steps = [(pc * 4, target * 4, taken) for pc, target, taken in raw_steps]
+        trace = trace_from_steps(steps)
+        fast = PathBasedPredictor(depth=3, bits_per_address=3, pht_bits=8).simulate(trace)
+        slow = simulate(
+            PathBasedPredictor(depth=3, bits_per_address=3, pht_bits=8), trace
+        )
+        assert np.array_equal(fast, slow)

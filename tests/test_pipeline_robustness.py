@@ -1,0 +1,99 @@
+"""Pipeline fuzzing: the full analysis stack on arbitrary traces.
+
+Users can bring their own traces (text or .bpt), which will not look
+like our workloads: duplicate addresses, degenerate outcomes, single
+branches, pathological targets.  Every analysis entry point must handle
+them without crashing and with its invariants intact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.offenders import top_offenders
+from repro.analysis.percentile import percentile_difference_curve
+from repro.analysis.runner import Lab
+from repro.analysis.warmup import warmup_curve
+from repro.classify.global_local import best_predictor_distribution
+from repro.classify.per_address import PER_ADDRESS_CLASSES, classify_per_address
+
+from conftest import trace_from_steps
+
+arbitrary_traces = st.lists(
+    st.tuples(
+        st.integers(0, 40),
+        st.integers(0, 40),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=100,
+).map(lambda steps: trace_from_steps([(pc * 4, t * 4, k) for pc, t, k in steps]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=arbitrary_traces)
+def test_lab_runs_every_predictor_on_arbitrary_traces(trace):
+    lab = Lab(trace)
+    for name in lab.available_predictors():
+        bitmap = lab.correct(name)
+        assert len(bitmap) == len(trace)
+        assert bitmap.dtype == bool
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=arbitrary_traces)
+def test_classification_invariants_on_arbitrary_traces(trace):
+    lab = Lab(trace)
+    classification = classify_per_address(lab)
+    assert set(classification.class_of) == set(
+        int(pc) for pc in trace.static_pcs()
+    )
+    assert sum(classification.dynamic_fractions.values()) == pytest.approx(1.0)
+    for label in classification.dynamic_fractions:
+        assert label in PER_ADDRESS_CLASSES
+    assert 0.0 <= classification.static_best_biased_fraction <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=arbitrary_traces)
+def test_distribution_invariants_on_arbitrary_traces(trace):
+    lab = Lab(trace)
+    dist = best_predictor_distribution(
+        trace,
+        {"g": [lab.correct("gshare")], "p": [lab.correct("pas")]},
+        lab.correct("ideal_static"),
+    )
+    assert sum(dist.dynamic_fractions.values()) == pytest.approx(1.0)
+    # Ideal static wins ties, so nothing can beat it on fully biased
+    # branches; fractions stay in range regardless.
+    for fraction in dist.dynamic_fractions.values():
+        assert 0.0 <= fraction <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=arbitrary_traces)
+def test_curves_and_offenders_on_arbitrary_traces(trace):
+    lab = Lab(trace)
+    gshare = lab.correct("gshare")
+    pas = lab.correct("pas")
+    curve = percentile_difference_curve(trace, gshare, pas)
+    assert list(curve.differences) == sorted(curve.differences)
+    assert -100.0 <= curve.tail(0) <= curve.tail(100) <= 100.0
+
+    warm = warmup_curve(trace, gshare)
+    assert sum(warm.counts) == len(trace)
+
+    offenders = top_offenders(trace, gshare, count=5)
+    assert len(offenders) <= 5
+    shares = sum(o.misprediction_share for o in offenders)
+    assert shares <= 1.0 + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(trace=arbitrary_traces)
+def test_selective_pipeline_on_arbitrary_traces(trace):
+    lab = Lab(trace)
+    bitmap = lab.selective_correct(2, window=8)
+    assert len(bitmap) == len(trace)
+    for selection in lab.selections(2, window=8).values():
+        assert 0.0 <= selection.ideal_accuracy <= 1.0

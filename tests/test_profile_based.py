@@ -1,0 +1,114 @@
+"""Tests for the profile-based predictors (section 2.2 related work)."""
+
+import pytest
+
+from repro.predictors.profile_based import (
+    BranchClassificationHybrid,
+    StaticPhtGlobal,
+    StaticPhtPAs,
+)
+from repro.predictors.static_ import AlwaysNotTakenPredictor
+from repro.predictors.twolevel import PAsPredictor
+from repro.workloads.suite import load_benchmark
+
+from conftest import interleave, trace_from_outcomes
+
+
+class TestStaticPhtGlobal:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            StaticPhtGlobal(4).predict(1, 2)
+
+    def test_same_input_learns_periodic(self):
+        trace = trace_from_outcomes([True, True, False] * 200)
+        predictor = StaticPhtGlobal(6).fit(trace)
+        assert predictor.accuracy(trace) > 0.97
+
+    def test_unseen_pattern_falls_back_to_branch_bias(self):
+        profile = trace_from_outcomes([False] * 50)
+        predictor = StaticPhtGlobal(4).fit(profile)
+        # Unknown branch entirely: defaults to taken.
+        assert predictor.predict(0x999, 0) is True
+
+    def test_invalid_history(self):
+        with pytest.raises(ValueError):
+            StaticPhtGlobal(-1)
+
+
+class TestStaticPhtPAs:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            StaticPhtPAs(4).predict(1, 2)
+
+    def test_same_input_rivals_adaptive(self):
+        # The Sechrest et al. finding: with the same profiling and
+        # testing set, a static PHT performs at least on par with 2-bit
+        # counters.
+        trace = load_benchmark("compress", length=8000, run_seed=21)
+        static = StaticPhtPAs(6).fit(trace)
+        adaptive = PAsPredictor(6, 12)
+        assert static.accuracy(trace) >= adaptive.accuracy(trace)
+
+    def test_cross_input_degrades(self):
+        profile = load_benchmark("compress", length=8000, run_seed=21)
+        test = load_benchmark("compress", length=8000, run_seed=22)
+        same = StaticPhtPAs(6).fit(test).accuracy(test)
+        cross = StaticPhtPAs(6).fit(profile).accuracy(test)
+        assert cross < same
+
+    def test_per_branch_histories_are_separate(self):
+        trace = interleave(
+            {1: [True, False] * 100, 2: [False, True] * 100}
+        )
+        predictor = StaticPhtPAs(4).fit(trace)
+        assert predictor.accuracy(trace) > 0.95
+
+
+class TestBranchClassificationHybrid:
+    def test_requires_fit(self):
+        hybrid = BranchClassificationHybrid(AlwaysNotTakenPredictor())
+        with pytest.raises(RuntimeError):
+            hybrid.predict(1, 2)
+        with pytest.raises(RuntimeError):
+            hybrid.is_static(1)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            BranchClassificationHybrid(AlwaysNotTakenPredictor(), 0.4)
+
+    def test_biased_branches_go_static(self):
+        trace = interleave({1: [True] * 100, 2: [True, False] * 50})
+        hybrid = BranchClassificationHybrid(
+            AlwaysNotTakenPredictor(), bias_threshold=0.9
+        ).fit(trace)
+        assert hybrid.is_static(1)
+        assert not hybrid.is_static(2)
+
+    def test_static_branches_ignore_dynamic_component(self):
+        trace = interleave({1: [True] * 100})
+        hybrid = BranchClassificationHybrid(
+            AlwaysNotTakenPredictor(), bias_threshold=0.9
+        ).fit(trace)
+        # The (terrible) dynamic component never sees branch 1.
+        assert hybrid.accuracy(trace) == 1.0
+
+    def test_weak_branches_use_dynamic_component(self):
+        periodic = [True, False] * 150
+        trace = trace_from_outcomes(periodic)
+        hybrid = BranchClassificationHybrid(
+            PAsPredictor(4, 8), bias_threshold=0.9
+        ).fit(trace)
+        assert not hybrid.is_static(0x100)
+        assert hybrid.accuracy(trace) > 0.9
+
+    def test_protects_against_profile_drift(self):
+        # A branch that is strongly biased in the profile stays
+        # statically predicted even if the dynamic component is bad.
+        profile = interleave({1: [True] * 100, 2: [True, False] * 50})
+        test = interleave({1: [True] * 60, 2: [False, True] * 30})
+        hybrid = BranchClassificationHybrid(
+            AlwaysNotTakenPredictor(), bias_threshold=0.9
+        ).fit(profile)
+        correct = hybrid.simulate(test)
+        idx1 = test.indices_by_pc()[1]
+        assert correct[idx1].all()

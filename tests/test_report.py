@@ -1,0 +1,99 @@
+"""Tests for the text-rendering helpers."""
+
+import pytest
+
+from repro.experiments.report import (
+    format_bar_chart,
+    format_stacked_fractions,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(("name", "value"), [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_floats_formatted_to_two_places(self):
+        text = format_table(("x",), [(3.14159,)])
+        assert "3.14" in text
+        assert "3.142" not in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_empty_rows(self):
+        text = format_table(("a",), [])
+        assert "a" in text
+
+
+class TestFormatBarChart:
+    def test_bars_scale_with_value(self):
+        text = format_bar_chart({"bench": {"x": 50.0, "y": 100.0}}, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_values_printed(self):
+        text = format_bar_chart({"b": {"x": 42.5}})
+        assert "42.5%" in text
+
+
+class TestFormatStackedFractions:
+    def test_legend_and_values(self):
+        text = format_stacked_fractions(
+            {"gcc": {"a": 0.25, "b": 0.75}}, order=("a", "b")
+        )
+        assert "legend:" in text
+        assert "a=25.0%" in text
+        assert "b=75.0%" in text
+
+    def test_segments_fill_width(self):
+        text = format_stacked_fractions(
+            {"gcc": {"a": 0.5, "b": 0.5}}, order=("a", "b"), width=20
+        )
+        bar_line = text.splitlines()[1]
+        stack = bar_line.split("|")[1]
+        assert stack.count("#") == 10
+        assert stack.count("=") == 10
+
+    def test_missing_label_treated_as_zero(self):
+        text = format_stacked_fractions({"gcc": {"a": 1.0}}, order=("a", "b"))
+        assert "b=0.0%" in text
+
+
+class TestFormatLineChart:
+    def _chart(self, **kwargs):
+        from repro.experiments.report import format_line_chart
+
+        return format_line_chart(**kwargs)
+
+    def test_empty_series(self):
+        assert self._chart(series={}) == "(no data)"
+
+    def test_axis_labels_and_legend(self):
+        text = self._chart(
+            series={"a": [(0, 0.0), (10, 100.0)]}, y_label="accuracy"
+        )
+        assert "accuracy" in text
+        assert "legend: o=a" in text
+        assert "100.0" in text and "0.0" in text
+
+    def test_two_series_distinct_glyphs(self):
+        text = self._chart(
+            series={"a": [(0, 1.0), (1, 2.0)], "b": [(0, 2.0), (1, 1.0)]}
+        )
+        assert "o" in text and "x" in text
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        text = self._chart(series={"flat": [(0, 5.0), (1, 5.0), (2, 5.0)]})
+        assert "o" in text
+
+    def test_single_point(self):
+        text = self._chart(series={"dot": [(3, 7.0)]})
+        assert "o" in text

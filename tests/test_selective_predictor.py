@@ -1,0 +1,115 @@
+"""Tests for the selective-history predictor (section 3.4)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.correlation.selection import SelectionConfig
+from repro.correlation.tagging import collect_correlation_data
+from repro.predictors.base import simulate
+from repro.predictors.selective import SelectiveHistoryPredictor
+from repro.predictors.twolevel import GsharePredictor
+
+from conftest import trace_from_outcomes, trace_from_steps
+from test_selection import _fig1a_trace, _fig1c_trace
+
+
+class TestSelectiveHistoryPredictor:
+    def test_requires_fit(self):
+        predictor = SelectiveHistoryPredictor(1)
+        with pytest.raises(RuntimeError):
+            predictor.predict(1, 2)
+
+    def test_captures_fig1a_correlation(self):
+        trace = _fig1a_trace()
+        predictor = SelectiveHistoryPredictor(1, SelectionConfig(window=8))
+        correct = predictor.fit(trace).simulate(trace)
+        x_indices = trace.indices_by_pc()[0x300]
+        # X is ~75% predictable from Y alone (fully determined when Y is
+        # not taken).
+        assert correct[x_indices][20:].mean() > 0.68
+
+    def test_two_branches_capture_fig1c(self):
+        trace = _fig1c_trace()
+        one = SelectiveHistoryPredictor(1, SelectionConfig(window=8)).fit(trace)
+        two = SelectiveHistoryPredictor(2, SelectionConfig(window=8)).fit(trace)
+        x_indices = trace.indices_by_pc()[0x300]
+        acc_one = one.simulate(trace)[x_indices][30:].mean()
+        acc_two = two.simulate(trace)[x_indices][30:].mean()
+        assert acc_two > 0.93
+        assert acc_two > acc_one + 0.1
+
+    def test_simulate_requires_same_trace(self):
+        trace = _fig1a_trace(100)
+        other = _fig1a_trace(150)
+        predictor = SelectiveHistoryPredictor(1, SelectionConfig(window=8))
+        predictor.fit(trace)
+        with pytest.raises(ValueError):
+            predictor.simulate(other)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            SelectiveHistoryPredictor(0)
+
+    def test_online_path_matches_fast_replay_fig1a(self):
+        trace = _fig1a_trace(150)
+        config = SelectionConfig(window=8)
+        online = SelectiveHistoryPredictor(2, config).fit(trace)
+        replay = SelectiveHistoryPredictor(2, config).fit(trace)
+        online_correct = simulate(online, trace)
+        replay_correct = replay.simulate(trace)
+        assert np.array_equal(online_correct, replay_correct)
+
+    def test_online_path_matches_fast_replay_random_trace(self):
+        rng = random.Random(23)
+        steps = []
+        for _ in range(400):
+            pc = rng.choice([0x10, 0x20, 0x30, 0x40])
+            target = rng.choice([pc - 8, pc + 8])
+            steps.append((pc, target, rng.random() < 0.6))
+        trace = trace_from_steps(steps)
+        config = SelectionConfig(window=8)
+        online = SelectiveHistoryPredictor(3, config).fit(trace)
+        replay = SelectiveHistoryPredictor(3, config).fit(trace)
+        assert np.array_equal(simulate(online, trace), replay.simulate(trace))
+
+    def test_online_matches_replay_with_backward_branches(self):
+        # Loop-heavy trace: exercises the backward-count tagging scheme
+        # in both the online window scan and the collector.
+        rng = random.Random(29)
+        steps = []
+        for _ in range(60):
+            trips = rng.randint(2, 4)
+            for i in range(trips):
+                steps.append((0x50, 0x60, rng.random() < 0.8))
+                steps.append((0x70, 0x40, i < trips - 1))  # backward
+            steps.append((0x90, 0xA0, rng.random() < 0.5))
+        trace = trace_from_steps(steps)
+        config = SelectionConfig(window=8)
+        online = SelectiveHistoryPredictor(3, config).fit(trace)
+        replay = SelectiveHistoryPredictor(3, config).fit(trace)
+        assert np.array_equal(simulate(online, trace), replay.simulate(trace))
+
+    def test_captures_loop_via_self_history(self):
+        # A 3-iteration loop branch: its own previous outcomes are in the
+        # selective window, so the oracle can pick the branch itself.
+        outcomes = ([True, True, False]) * 150
+        trace = trace_from_outcomes(outcomes)
+        predictor = SelectiveHistoryPredictor(2, SelectionConfig(window=8))
+        correct = predictor.fit(trace).simulate(trace)
+        assert correct[30:].mean() > 0.95
+
+    def test_selective_beats_gshare_on_pure_correlation(self):
+        # The headline table-2 effect: a correlated branch gshare
+        # struggles with (cold, fragmented patterns) that one selected
+        # branch captures.
+        trace = _fig1a_trace(400)
+        selective = SelectiveHistoryPredictor(1, SelectionConfig(window=8))
+        selective_correct = selective.fit(trace).simulate(trace)
+        gshare_correct = GsharePredictor(16, 16).simulate(trace)
+        x_indices = trace.indices_by_pc()[0x300]
+        assert (
+            selective_correct[x_indices].mean()
+            >= gshare_correct[x_indices].mean() - 0.02
+        )

@@ -1,0 +1,105 @@
+"""Tests for static predictors."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.base import simulate
+from repro.predictors.static_ import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BackwardTakenPredictor,
+    IdealStaticPredictor,
+    ProfileStaticPredictor,
+)
+
+from conftest import interleave, trace_from_steps, trace_from_string
+
+
+class TestAlwaysPredictors:
+    def test_always_taken(self):
+        trace = trace_from_string("TTNT")
+        assert AlwaysTakenPredictor().accuracy(trace) == pytest.approx(0.75)
+
+    def test_always_not_taken(self):
+        trace = trace_from_string("TTNT")
+        assert AlwaysNotTakenPredictor().accuracy(trace) == pytest.approx(0.25)
+
+    def test_vectorised_matches_generic(self):
+        trace = trace_from_string("TNTTNNT")
+        predictor = AlwaysTakenPredictor()
+        assert np.array_equal(predictor.simulate(trace), simulate(predictor, trace))
+
+
+class TestBackwardTaken:
+    def test_btfnt_rule(self):
+        trace = trace_from_steps(
+            [
+                (0x100, 0x80, True),   # backward taken: correct
+                (0x100, 0x80, False),  # backward not-taken: wrong
+                (0x100, 0x180, False), # forward not-taken: correct
+                (0x100, 0x180, True),  # forward taken: wrong
+            ]
+        )
+        correct = BackwardTakenPredictor().simulate(trace)
+        assert list(correct) == [True, False, True, False]
+
+    def test_vectorised_matches_generic(self):
+        trace = trace_from_steps(
+            [(0x100, 0x80, True), (0x100, 0x200, False), (0x50, 0x10, True)]
+        )
+        predictor = BackwardTakenPredictor()
+        assert np.array_equal(predictor.simulate(trace), simulate(predictor, trace))
+
+
+class TestProfileStatic:
+    def test_follows_profile(self):
+        predictor = ProfileStaticPredictor({1: True, 2: False})
+        assert predictor.predict(1, 0) is True
+        assert predictor.predict(2, 0) is False
+
+    def test_default_for_unknown(self):
+        predictor = ProfileStaticPredictor({}, default=True)
+        assert predictor.predict(99, 0) is True
+
+    def test_from_trace_majority(self):
+        trace = interleave({1: [True, True, False], 2: [False, False, True]})
+        predictor = ProfileStaticPredictor.from_trace(trace)
+        assert predictor.predict(1, 0) is True
+        assert predictor.predict(2, 0) is False
+
+    def test_train_test_split(self):
+        train = trace_from_string("TTTT")
+        test = trace_from_string("TTNN")
+        predictor = ProfileStaticPredictor.from_trace(train)
+        assert predictor.accuracy(test) == pytest.approx(0.5)
+
+
+class TestIdealStatic:
+    def test_requires_fit_for_online_use(self):
+        with pytest.raises(RuntimeError):
+            IdealStaticPredictor().predict(1, 0)
+
+    def test_simulate_self_profiles(self):
+        trace = trace_from_string("TTTN")
+        predictor = IdealStaticPredictor()
+        assert predictor.accuracy(trace) == pytest.approx(0.75)
+        # After simulate, the profile is available for online queries.
+        assert predictor.predict(0x100, 0) is True
+
+    def test_ideal_static_beats_any_fixed_direction(self):
+        trace = trace_from_string("NNNT")
+        ideal = IdealStaticPredictor().accuracy(trace)
+        taken = AlwaysTakenPredictor().accuracy(trace)
+        not_taken = AlwaysNotTakenPredictor().accuracy(trace)
+        assert ideal >= max(taken, not_taken)
+
+    def test_per_branch_directions(self):
+        trace = interleave({1: [True] * 5, 2: [False] * 5})
+        predictor = IdealStaticPredictor()
+        assert predictor.accuracy(trace) == 1.0
+        assert predictor.predict(1, 0) is True
+        assert predictor.predict(2, 0) is False
+
+    def test_unknown_branch_after_fit(self):
+        predictor = IdealStaticPredictor().fit(trace_from_string("T"))
+        assert predictor.predict(0xDEAD, 0) is False

@@ -1,0 +1,39 @@
+"""Tests for repro.trace.record."""
+
+import pytest
+
+from repro.trace.record import BranchRecord
+
+
+class TestBranchRecord:
+    def test_fields(self):
+        record = BranchRecord(pc=0x100, target=0x80, taken=True)
+        assert record.pc == 0x100
+        assert record.target == 0x80
+        assert record.taken is True
+
+    def test_backward_branch(self):
+        assert BranchRecord(pc=0x100, target=0x80, taken=True).is_backward
+
+    def test_forward_branch(self):
+        assert not BranchRecord(pc=0x100, target=0x180, taken=True).is_backward
+
+    def test_self_target_is_not_backward(self):
+        assert not BranchRecord(pc=0x100, target=0x100, taken=False).is_backward
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(ValueError):
+            BranchRecord(pc=-1, target=0, taken=False)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            BranchRecord(pc=0, target=-4, taken=False)
+
+    def test_frozen(self):
+        record = BranchRecord(pc=1, target=2, taken=False)
+        with pytest.raises(AttributeError):
+            record.pc = 5
+
+    def test_equality(self):
+        assert BranchRecord(1, 2, True) == BranchRecord(1, 2, True)
+        assert BranchRecord(1, 2, True) != BranchRecord(1, 2, False)

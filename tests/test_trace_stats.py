@@ -1,0 +1,117 @@
+"""Tests for trace statistics (Table 1 substrate, bias analyses)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.stats import (
+    biased_fraction,
+    compute_statistics,
+    ideal_static_correct,
+    per_branch_bias,
+)
+from repro.trace.trace import Trace
+
+from conftest import interleave, trace_from_outcomes, trace_from_string
+
+
+class TestPerBranchBias:
+    def test_fully_biased(self):
+        trace = trace_from_string("TTTT")
+        assert per_branch_bias(trace) == {0x100: 1.0}
+
+    def test_balanced(self):
+        trace = trace_from_string("TNTN")
+        assert per_branch_bias(trace)[0x100] == pytest.approx(0.5)
+
+    def test_bias_is_majority_side(self):
+        trace = trace_from_string("TNNN")
+        assert per_branch_bias(trace)[0x100] == pytest.approx(0.75)
+
+    def test_multiple_branches(self):
+        trace = interleave({1: [True] * 4, 2: [False] * 3 + [True]})
+        biases = per_branch_bias(trace)
+        assert biases[1] == 1.0
+        assert biases[2] == pytest.approx(0.75)
+
+
+class TestIdealStatic:
+    def test_perfect_on_constant_branch(self):
+        trace = trace_from_string("TTTT")
+        assert ideal_static_correct(trace).all()
+
+    def test_majority_direction_wins(self):
+        trace = trace_from_string("TTTN")
+        correct = ideal_static_correct(trace)
+        assert list(correct) == [True, True, True, False]
+
+    def test_tie_counts_taken_side(self):
+        trace = trace_from_string("TTNN")
+        correct = ideal_static_correct(trace)
+        # Tie resolves toward taken: the two taken outcomes are correct.
+        assert correct.sum() == 2
+
+    def test_independent_per_branch(self):
+        trace = interleave({1: [True, True, False], 2: [False, False, True]})
+        correct = ideal_static_correct(trace)
+        assert correct.sum() == 4  # majority of each branch
+
+
+class TestBiasedFraction:
+    def test_all_biased(self):
+        trace = trace_from_string("T" * 100)
+        assert biased_fraction(trace) == 1.0
+
+    def test_none_biased(self):
+        trace = trace_from_string("TN" * 50)
+        assert biased_fraction(trace) == 0.0
+
+    def test_mixed(self):
+        trace = interleave({1: [True] * 10, 2: [True, False] * 5})
+        assert biased_fraction(trace) == pytest.approx(0.5)
+
+    def test_threshold_is_strict(self):
+        # Exactly 99% biased is NOT "more than 99% biased".
+        outcomes = [True] * 99 + [False]
+        trace = trace_from_outcomes(outcomes)
+        assert biased_fraction(trace, threshold=0.99) == 0.0
+
+    def test_empty(self):
+        assert biased_fraction(Trace.empty()) == 0.0
+
+
+class TestComputeStatistics:
+    def test_empty_trace(self):
+        stats = compute_statistics(Trace.empty())
+        assert stats.num_dynamic == 0
+        assert stats.num_static == 0
+
+    def test_counts(self):
+        trace = interleave({1: [True] * 3, 2: [False] * 3})
+        stats = compute_statistics(trace)
+        assert stats.num_dynamic == 6
+        assert stats.num_static == 2
+        assert stats.taken_rate == pytest.approx(0.5)
+        assert stats.ideal_static_accuracy == 1.0
+
+    def test_backward_rate(self):
+        from conftest import trace_from_steps
+
+        trace = trace_from_steps([(0x100, 0x80, True), (0x100, 0x200, True)])
+        stats = compute_statistics(trace)
+        assert stats.backward_rate == pytest.approx(0.5)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=100))
+def test_property_ideal_static_at_least_bias(outcomes):
+    """Ideal static accuracy equals the branch's majority frequency."""
+    trace = trace_from_outcomes(outcomes)
+    accuracy = ideal_static_correct(trace).mean()
+    expected = max(sum(outcomes), len(outcomes) - sum(outcomes)) / len(outcomes)
+    assert accuracy == pytest.approx(expected)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=60))
+def test_property_bias_at_least_half(outcomes):
+    trace = trace_from_outcomes(outcomes)
+    bias = per_branch_bias(trace)[0x100]
+    assert 0.5 <= bias <= 1.0

@@ -1,0 +1,163 @@
+"""Tests for the .bpt binary trace format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.stream import MAGIC, TraceFormatError, read_trace, write_trace
+from repro.trace.trace import Trace
+
+from conftest import trace_from_steps, trace_from_string
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, tmp_path):
+        trace = trace_from_steps([(1, 2, True), (3, 4, False), (5, 6, True)])
+        path = tmp_path / "t.bpt"
+        write_trace(trace, path)
+        assert read_trace(path) == trace
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.bpt"
+        write_trace(Trace.empty(), path)
+        loaded = read_trace(path)
+        assert len(loaded) == 0
+
+    def test_large_addresses(self, tmp_path):
+        trace = trace_from_steps([(2**60, 2**61, True)])
+        path = tmp_path / "big.bpt"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded[0].pc == 2**60
+        assert loaded[0].target == 2**61
+
+    def test_non_multiple_of_eight_length(self, tmp_path):
+        trace = trace_from_string("TNTNTNTNTNT")  # 11 outcomes
+        path = tmp_path / "odd.bpt"
+        write_trace(trace, path)
+        assert read_trace(path) == trace
+
+    def test_accepts_pathlike_and_str(self, tmp_path):
+        trace = trace_from_string("TN")
+        path = tmp_path / "p.bpt"
+        write_trace(trace, str(path))
+        assert read_trace(str(path)) == trace
+
+
+class TestMalformedFiles:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bpt"
+        path.write_bytes(b"XXXX" + b"\x00" * 16)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            read_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bpt"
+        path.write_bytes(MAGIC + b"\x01")
+        with pytest.raises(TraceFormatError, match="truncated header"):
+            read_trace(path)
+
+    def test_truncated_columns(self, tmp_path):
+        path = tmp_path / "cols.bpt"
+        path.write_bytes(MAGIC + np.uint64(10).tobytes() + b"\x00" * 8)
+        with pytest.raises(TraceFormatError, match="truncated address"):
+            read_trace(path)
+
+    def test_truncated_outcomes(self, tmp_path):
+        trace = trace_from_string("TNTN")
+        path = tmp_path / "out.bpt"
+        write_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-1])
+        with pytest.raises(TraceFormatError, match="truncated outcome"):
+            read_trace(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "nil.bpt"
+        path.write_bytes(b"")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**63 - 1),
+            st.integers(min_value=0, max_value=2**63 - 1),
+            st.booleans(),
+        ),
+        max_size=200,
+    )
+)
+def test_property_round_trip_preserves_trace(tmp_path_factory, steps):
+    trace = trace_from_steps(steps)
+    path = tmp_path_factory.mktemp("bpt") / "prop.bpt"
+    write_trace(trace, path)
+    assert read_trace(path) == trace
+
+
+class TestTextFormat:
+    def test_round_trip(self, tmp_path):
+        from repro.trace.stream import read_text_trace, write_text_trace
+
+        trace = trace_from_steps([(0x100, 0x80, True), (0x104, 0x200, False)])
+        path = tmp_path / "t.txt"
+        write_text_trace(trace, path)
+        assert read_text_trace(path) == trace
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        from repro.trace.stream import read_text_trace
+
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n\n0x10 0x20 T\n  \n0x14 0x8 N\n")
+        trace = read_text_trace(path)
+        assert len(trace) == 2
+        assert trace[1].is_backward
+
+    def test_outcome_spellings(self, tmp_path):
+        from repro.trace.stream import read_text_trace
+
+        path = tmp_path / "s.txt"
+        path.write_text("16 32 taken\n16 32 0\n16 32 N\n16 32 1\n")
+        trace = read_text_trace(path)
+        assert list(trace.taken) == [True, False, False, True]
+
+    def test_decimal_addresses(self, tmp_path):
+        from repro.trace.stream import read_text_trace
+
+        path = tmp_path / "d.txt"
+        path.write_text("256 512 T\n")
+        assert read_text_trace(path)[0].pc == 256
+
+    def test_malformed_line_rejected(self, tmp_path):
+        from repro.trace.stream import read_text_trace
+
+        path = tmp_path / "m.txt"
+        path.write_text("0x10 T\n")
+        with pytest.raises(TraceFormatError, match="expected"):
+            read_text_trace(path)
+
+    def test_bad_address_rejected(self, tmp_path):
+        from repro.trace.stream import read_text_trace
+
+        path = tmp_path / "a.txt"
+        path.write_text("zork 0x20 T\n")
+        with pytest.raises(TraceFormatError, match="bad address"):
+            read_text_trace(path)
+
+    def test_bad_outcome_rejected(self, tmp_path):
+        from repro.trace.stream import read_text_trace
+
+        path = tmp_path / "o.txt"
+        path.write_text("0x10 0x20 maybe\n")
+        with pytest.raises(TraceFormatError, match="bad outcome"):
+            read_text_trace(path)
+
+    def test_tools_accept_text_traces(self, tmp_path, capsys):
+        from repro.tools import main
+
+        path = tmp_path / "g.txt"
+        assert main(["generate", "compress", "-o", str(path), "--length", "500"]) == 0
+        assert main(["stats", str(path)]) == 0
+        assert "dynamic branches:        500" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Tests for the training-time (warmup) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.warmup import DEFAULT_EDGES, WarmupCurve, warmup_curve
+
+from conftest import interleave, trace_from_outcomes
+
+
+class TestWarmupCurve:
+    def test_ages_are_per_branch(self):
+        trace = interleave({1: [True] * 10, 2: [True] * 10})
+        correct = np.ones(20, dtype=bool)
+        curve = warmup_curve(trace, correct, bucket_edges=(0, 4, 100))
+        # Each branch contributes 4 cold executions.
+        assert curve.counts == (8, 12)
+
+    def test_cold_vs_warm_split(self):
+        # Wrong for the first 4 executions, right afterwards.
+        trace = interleave({1: [True] * 50})
+        correct = np.ones(50, dtype=bool)
+        correct[:4] = False
+        curve = warmup_curve(trace, correct, bucket_edges=(0, 4, 100))
+        assert curve.cold_accuracy() == 0.0
+        assert curve.warm_accuracy() == 1.0
+        assert curve.training_cost() == pytest.approx(1.0)
+
+    def test_warm_skips_empty_buckets(self):
+        trace = trace_from_outcomes([True] * 10)
+        correct = np.ones(10, dtype=bool)
+        curve = warmup_curve(trace, correct)  # default edges go to 256+
+        assert curve.warm_accuracy() == 1.0
+
+    def test_counts_cover_trace(self):
+        trace = interleave({1: [True] * 30, 2: [False] * 7})
+        correct = np.ones(37, dtype=bool)
+        curve = warmup_curve(trace, correct)
+        assert sum(curve.counts) == 37
+
+    def test_validation(self):
+        trace = trace_from_outcomes([True] * 5)
+        with pytest.raises(ValueError):
+            warmup_curve(trace, np.ones(4, dtype=bool))
+        with pytest.raises(ValueError):
+            warmup_curve(trace, np.ones(5, dtype=bool), bucket_edges=(5,))
+        with pytest.raises(ValueError):
+            warmup_curve(trace, np.ones(5, dtype=bool), bucket_edges=(5, 2))
+
+    def test_default_edges_are_increasing(self):
+        assert list(DEFAULT_EDGES) == sorted(DEFAULT_EDGES)
+
+    def test_adaptive_predictor_shows_training_cost(self, small_gcc_trace):
+        from repro.predictors.twolevel import GsharePredictor
+
+        correct = GsharePredictor(16, 16).simulate(small_gcc_trace)
+        curve = warmup_curve(small_gcc_trace, correct)
+        assert curve.training_cost() > 0.02

@@ -1,0 +1,152 @@
+"""Tests for condition expressions and trip-count generators."""
+
+import random
+
+import pytest
+
+from repro.workloads.conditions import (
+    AndExpr,
+    BernoulliExpr,
+    ConstExpr,
+    MarkovExpr,
+    NotExpr,
+    OrExpr,
+    PatternExpr,
+    PhaseExpr,
+    SelfHistoryExpr,
+    VarExpr,
+    constant_trips,
+    drifting_trips,
+    uniform_trips,
+)
+from repro.workloads.program import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment(random.Random(7))
+
+
+class TestBasicExprs:
+    def test_const(self, env):
+        assert ConstExpr(True).evaluate(env) is True
+        assert ConstExpr(False).evaluate(env) is False
+
+    def test_var_reads_environment(self, env):
+        env.variables["x"] = True
+        assert VarExpr("x").evaluate(env) is True
+
+    def test_var_unset_raises(self, env):
+        with pytest.raises(KeyError, match="before assignment"):
+            VarExpr("missing").evaluate(env)
+
+    def test_not(self, env):
+        assert NotExpr(ConstExpr(False)).evaluate(env) is True
+
+    def test_and_or(self, env):
+        assert AndExpr(ConstExpr(True), ConstExpr(True)).evaluate(env)
+        assert not AndExpr(ConstExpr(True), ConstExpr(False)).evaluate(env)
+        assert OrExpr(ConstExpr(False), ConstExpr(True)).evaluate(env)
+        assert not OrExpr(ConstExpr(False), ConstExpr(False)).evaluate(env)
+
+    def test_and_or_arity(self):
+        with pytest.raises(ValueError):
+            AndExpr(ConstExpr(True))
+        with pytest.raises(ValueError):
+            OrExpr(ConstExpr(True))
+
+
+class TestStochasticExprs:
+    def test_bernoulli_rate(self, env):
+        expr = BernoulliExpr(0.8)
+        rate = sum(expr.evaluate(env) for _ in range(5000)) / 5000
+        assert rate == pytest.approx(0.8, abs=0.03)
+
+    def test_bernoulli_bounds(self):
+        with pytest.raises(ValueError):
+            BernoulliExpr(1.5)
+
+    def test_markov_produces_runs(self, env):
+        expr = MarkovExpr(0.95)
+        outcomes = [expr.evaluate(env) for _ in range(2000)]
+        switches = sum(a != b for a, b in zip(outcomes, outcomes[1:]))
+        assert switches / len(outcomes) == pytest.approx(0.05, abs=0.02)
+
+    def test_markov_bounds(self):
+        with pytest.raises(ValueError):
+            MarkovExpr(-0.1)
+
+    def test_pattern_cycles_exactly(self, env):
+        expr = PatternExpr([True, False, False])
+        outcomes = [expr.evaluate(env) for _ in range(9)]
+        assert outcomes == [True, False, False] * 3
+
+    def test_pattern_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PatternExpr([])
+
+    def test_phase_alternates(self, env):
+        expr = PhaseExpr(3, ConstExpr(True), ConstExpr(False))
+        outcomes = [expr.evaluate(env) for _ in range(9)]
+        assert outcomes == [True] * 3 + [False] * 3 + [True] * 3
+
+    def test_phase_period_validation(self):
+        with pytest.raises(ValueError):
+            PhaseExpr(0, ConstExpr(True), ConstExpr(False))
+
+
+class TestSelfHistoryExpr:
+    def test_noiseless_function_is_deterministic(self, env):
+        # XOR of the last two outcomes, no flips.
+        table = [False, True, True, False]
+        expr = SelfHistoryExpr(table, depth=2, flip_probability=0.0)
+        outcomes = [expr.evaluate(env) for _ in range(12)]
+        # Verify each outcome follows the table given the running history.
+        history = 0
+        for outcome in outcomes:
+            assert outcome == table[history]
+            history = ((history << 1) | outcome) & 0b11
+
+    def test_table_size_validation(self):
+        with pytest.raises(ValueError):
+            SelfHistoryExpr([True, False], depth=2)
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            SelfHistoryExpr([True], depth=0)
+
+    def test_flip_probability_validation(self):
+        with pytest.raises(ValueError):
+            SelfHistoryExpr([True, False], depth=1, flip_probability=2.0)
+
+
+class TestTripGenerators:
+    def test_constant(self, env):
+        generate = constant_trips(7)
+        assert [generate(env) for _ in range(5)] == [7] * 5
+
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            constant_trips(-1)
+
+    def test_uniform_range(self, env):
+        generate = uniform_trips(2, 5)
+        values = {generate(env) for _ in range(200)}
+        assert values == {2, 3, 4, 5}
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_trips(5, 2)
+
+    def test_drifting_changes_infrequently(self, env):
+        generate = drifting_trips(4, change_probability=0.05, low=2, high=9)
+        values = [generate(env) for _ in range(500)]
+        changes = sum(a != b for a, b in zip(values, values[1:]))
+        assert changes < 60
+        assert values[0] == 4
+
+    def test_drifting_validation(self):
+        with pytest.raises(ValueError):
+            drifting_trips(4, change_probability=1.5, low=2, high=9)
+        with pytest.raises(ValueError):
+            drifting_trips(4, change_probability=0.1, low=9, high=2)

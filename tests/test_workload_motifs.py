@@ -1,0 +1,172 @@
+"""Tests for the behaviour motifs: each produces its advertised behaviour."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.workloads import motifs
+from repro.workloads.conditions import BernoulliExpr, MarkovExpr, constant_trips
+from repro.workloads.program import Block, Procedure, Program, execute_program
+
+
+def run_motif(statement, n=2000, seed=3, procedures=()):
+    main = Procedure("main", statement if isinstance(statement, Block) else Block([statement]))
+    program = Program(list(procedures) + [main], main="main")
+    return execute_program(program, n, seed)
+
+
+class TestSimpleMotifs:
+    def test_biased_branch_rate(self):
+        trace = run_motif(motifs.biased_branch(0.9), n=3000)
+        assert trace.taken_rate() == pytest.approx(0.9, abs=0.03)
+
+    def test_biased_run_count_and_bias(self):
+        rng = random.Random(1)
+        trace = run_motif(motifs.biased_run(rng, 5, 0.99, 0.999), n=3000)
+        assert trace.num_static_branches() == 5
+        from repro.trace.stats import per_branch_bias
+
+        for bias in per_branch_bias(trace).values():
+            assert bias > 0.95
+
+    def test_pattern_branch_repeats(self):
+        trace = run_motif(motifs.pattern_branch([True, False, False]), n=30)
+        assert list(trace.taken) == [True, False, False] * 10
+
+    def test_block_pattern_branch(self):
+        trace = run_motif(motifs.block_pattern_branch(3, 2), n=20)
+        assert list(trace.taken) == ([True] * 3 + [False] * 2) * 4
+
+    def test_phased_branch_changes_bias(self):
+        trace = run_motif(motifs.phased_branch(500, 0.95, 0.05), n=2000)
+        first = trace.taken[:500].mean()
+        second = trace.taken[500:1000].mean()
+        assert first > 0.85
+        assert second < 0.15
+
+
+class TestCorrelationMotifs:
+    def test_correlated_pair_implication(self):
+        # X (= c1 AND c2) may be taken only when Y (= c1) was taken.
+        trace = run_motif(
+            motifs.correlated_pair("m", BernoulliExpr(0.5), p_second=0.6),
+            n=3000,
+        )
+        pcs = sorted(trace.indices_by_pc())
+        y_pc, x_pc = pcs[0], pcs[-1]
+        y_taken = trace.taken[trace.indices_by_pc()[y_pc]]
+        x_taken = trace.taken[trace.indices_by_pc()[x_pc]]
+        assert not x_taken[~y_taken].any()
+
+    def test_correlated_pair_filler_count(self):
+        trace = run_motif(
+            motifs.correlated_pair("m", BernoulliExpr(0.5), filler=3), n=100
+        )
+        assert trace.num_static_branches() == 5  # Y + 3 fillers + X
+
+    def test_correlated_triple_needs_both(self):
+        trace = run_motif(
+            motifs.correlated_triple("m", p_first=0.5, p_second=0.5), n=3000
+        )
+        groups = trace.indices_by_pc()
+        pcs = sorted(groups)
+        y, z, x = pcs[0], pcs[1], pcs[-1]
+        y_taken = trace.taken[groups[y]]
+        z_taken = trace.taken[groups[z]]
+        x_taken = trace.taken[groups[x]]
+        assert np.array_equal(x_taken, y_taken & z_taken)
+
+    def test_correlated_quad_formula(self):
+        trace = run_motif(
+            motifs.correlated_quad("m", 0.5, 0.5, 0.5), n=4000
+        )
+        groups = trace.indices_by_pc()
+        pcs = sorted(groups)
+        c1, c2, c3, x = (trace.taken[groups[pc]] for pc in pcs)
+        assert np.array_equal(x, c1 & (c2 | c3))
+
+    def test_assignment_correlation_implication(self):
+        # The flag branch is always taken when the condition branch was.
+        trace = run_motif(
+            motifs.assignment_correlation("m", BernoulliExpr(0.5)), n=3000
+        )
+        groups = trace.indices_by_pc()
+        pcs = sorted(groups)
+        cond = trace.taken[groups[pcs[0]]]
+        flag = trace.taken[groups[pcs[-1]]]
+        assert flag[cond].all()
+
+    def test_chain_in_path_correlation(self):
+        # The final branch (c1 AND c2) is taken exactly when the chain
+        # reached its innermost arm.
+        trace = run_motif(
+            motifs.if_elif_chain("m", BernoulliExpr(0.5), BernoulliExpr(0.5)),
+            n=4000,
+        )
+        groups = trace.indices_by_pc()
+        pcs = sorted(groups)
+        outer = trace.taken[groups[pcs[0]]]  # NOT(c1)
+        final = trace.taken[groups[pcs[-1]]]  # c1 AND c2
+        rounds = min(len(outer), len(final))  # trace may end mid-round
+        assert not final[:rounds][outer[:rounds]].any()
+
+    def test_call_site_pair_mode_branch(self):
+        callee = "m_proc"
+        procedures = [Procedure(callee, motifs.make_callee_body(callee, 1))]
+        trace = run_motif(
+            motifs.call_site_pair("m", callee, p_alternate=0.0),
+            n=3000,
+            procedures=procedures,
+        )
+        groups = trace.indices_by_pc()
+        mode_pc = sorted(groups)[0]  # first branch in the callee
+        mode_taken = trace.taken[groups[mode_pc]]
+        # Call site 1 always primes True, call site 2 never does.
+        assert mode_taken[::2].all()
+        assert not mode_taken[1::2].any()
+
+
+class TestLoopMotifs:
+    def test_loop_nest_shape(self):
+        trace = run_motif(
+            motifs.loop_nest(
+                constant_trips(2), constant_trips(3), Block([])
+            ),
+            n=16,
+        )
+        # Inner loop branch: T T N per entry; outer: T N.
+        assert trace.num_static_branches() == 2
+
+    def test_gated_loop_guard_correlation(self):
+        trace = run_motif(
+            motifs.gated_loop("m", constant_trips(3), Block([]), p_enter=0.5),
+            n=3000,
+        )
+        groups = trace.indices_by_pc()
+        pcs = sorted(groups)
+        guard_indices = groups[pcs[0]]
+        # Loop branches only appear after a taken guard.
+        loop_count = len(groups[pcs[1]])
+        guard_taken = int(trace.taken[guard_indices].sum())
+        assert loop_count == pytest.approx(3 * guard_taken, abs=3)
+
+    def test_random_pattern_never_constant(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            pattern = motifs.random_pattern(rng, 4)
+            assert any(pattern) and not all(pattern)
+
+    def test_random_pattern_length_validation(self):
+        with pytest.raises(ValueError):
+            motifs.random_pattern(random.Random(1), 1)
+
+    def test_self_history_branch_is_pas_predictable(self):
+        from repro.predictors.interference_free import InterferenceFreePAs
+
+        rng = random.Random(3)
+        trace = run_motif(
+            motifs.self_history_branch(rng, depth=2, flip_probability=0.0),
+            n=1500,
+        )
+        assert InterferenceFreePAs(4).accuracy(trace) > 0.95

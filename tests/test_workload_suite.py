@@ -1,0 +1,137 @@
+"""Tests for the benchmark suite and generator."""
+
+import pytest
+
+from repro.predictors.static_ import IdealStaticPredictor
+from repro.trace.stats import compute_statistics
+from repro.workloads.generator import BenchmarkProfile, build_program
+from repro.workloads.program import execute_program
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    PAPER_BRANCH_COUNTS,
+    benchmark_spec,
+    load_benchmark,
+    load_suite,
+    scaled_length,
+)
+
+
+class TestSuiteRegistry:
+    def test_eight_benchmarks_in_paper_order(self):
+        assert BENCHMARK_NAMES == [
+            "compress",
+            "gcc",
+            "go",
+            "ijpeg",
+            "m88ksim",
+            "perl",
+            "vortex",
+            "xlisp",
+        ]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark_spec("spice")
+
+    def test_scaled_lengths_preserve_proportions(self):
+        longest = max(PAPER_BRANCH_COUNTS.values())
+        for name in BENCHMARK_NAMES:
+            expected = PAPER_BRANCH_COUNTS[name] / longest
+            actual = scaled_length(name, 100_000) / 100_000
+            assert actual == pytest.approx(expected, abs=0.02)
+
+    def test_vortex_is_the_longest(self):
+        lengths = {name: scaled_length(name, 50_000) for name in BENCHMARK_NAMES}
+        assert max(lengths, key=lengths.get) == "vortex"
+
+    def test_load_benchmark_caches(self):
+        a = load_benchmark("compress", length=3000, run_seed=7)
+        b = load_benchmark("compress", length=3000, run_seed=7)
+        assert a is b
+
+    def test_load_benchmark_distinct_seeds(self):
+        a = load_benchmark("compress", length=3000, run_seed=7)
+        b = load_benchmark("compress", length=3000, run_seed=8)
+        assert a != b
+
+    def test_load_suite_lengths(self):
+        suite = load_suite(max_length=5000)
+        assert set(suite) == set(BENCHMARK_NAMES)
+        assert len(suite["vortex"]) == 5000
+        assert len(suite["perl"]) < len(suite["gcc"])
+
+
+class TestGenerator:
+    def test_unknown_unit_kind_rejected(self):
+        profile = BenchmarkProfile(name="x", seed=1, units={"nonsense": 1})
+        with pytest.raises(ValueError, match="unknown unit kind"):
+            build_program(profile)
+
+    def test_same_seed_same_program(self):
+        profile = BenchmarkProfile(
+            name="x", seed=5, units={"biased": 3, "for_loop": 2}
+        )
+        a = execute_program(build_program(profile), 2000, seed=1)
+        b = execute_program(build_program(profile), 2000, seed=1)
+        assert a == b
+
+    def test_every_unit_kind_builds_and_runs(self):
+        units = {
+            kind: 1
+            for kind in (
+                "biased_run",
+                "biased",
+                "noise",
+                "data",
+                "markov",
+                "selfdep",
+                "phase",
+                "corr_pair",
+                "corr_triple",
+                "corr_quad",
+                "assign_corr",
+                "chain",
+                "for_loop",
+                "while_loop",
+                "loop_nest",
+                "gated_loop",
+                "pattern",
+                "block",
+                "call",
+            )
+        }
+        profile = BenchmarkProfile(name="all", seed=3, units=units)
+        trace = execute_program(build_program(profile), 3000, seed=2)
+        assert len(trace) == 3000
+        assert trace.num_static_branches() > 20
+
+
+class TestSuiteCharacteristics:
+    """The tuned shape constraints the experiments rely on."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return {
+            name: compute_statistics(load_benchmark(name, length=15000, run_seed=5))
+            for name in ("gcc", "go", "m88ksim", "vortex")
+        }
+
+    def test_gcc_has_the_most_static_branches(self, stats):
+        assert stats["gcc"].num_static == max(
+            s.num_static for s in stats.values()
+        )
+
+    def test_biased_mass_ordering(self, stats):
+        # vortex and m88ksim are dominated by >99%-biased branches.
+        assert stats["vortex"].biased_99_dynamic_fraction > 0.35
+        assert stats["m88ksim"].biased_99_dynamic_fraction > 0.3
+        assert stats["go"].biased_99_dynamic_fraction < 0.3
+
+    def test_go_is_least_statically_predictable(self, stats):
+        assert stats["go"].ideal_static_accuracy == min(
+            s.ideal_static_accuracy for s in stats.values()
+        )
+
+    def test_traces_have_backward_branches(self, stats):
+        for name, s in stats.items():
+            assert s.backward_rate > 0.005, name
