@@ -1,0 +1,166 @@
+"""``python -m repro check`` / ``repro-tools check``: run all passes.
+
+Examples::
+
+    python -m repro check                # all three passes
+    python -m repro check ir lint        # a subset
+    python -m repro check --trace-length 2000 --strict
+
+Exit code 0 when no error-severity diagnostics were found, 1 otherwise
+(``--strict`` also fails on warnings).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.check.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    format_diagnostics,
+)
+
+#: Pass names in execution order.
+PASS_NAMES = ["ir", "contracts", "lint"]
+
+#: Default dynamic trace length for the contract pass (small: the
+#: state-digest wrapper makes every branch deliberately expensive).
+DEFAULT_CONTRACT_TRACE_LENGTH = 400
+
+
+def run_ir_pass() -> List[Diagnostic]:
+    """Verify every benchmark program in the workload suite."""
+    from repro.check.ir import verify_program
+    from repro.workloads.generator import build_program
+    from repro.workloads.suite import BENCHMARK_NAMES, benchmark_spec
+
+    diagnostics: List[Diagnostic] = []
+    for name in BENCHMARK_NAMES:
+        program = build_program(benchmark_spec(name, length=1000).profile)
+        diagnostics.extend(verify_program(program, name=name))
+    return diagnostics
+
+
+def run_contracts_pass(trace_length: int) -> List[Diagnostic]:
+    """Introspective audits plus dynamic checks over the registry."""
+    from repro.check.contracts import (
+        check_predictor_classes,
+        check_registry,
+        run_contract_suite,
+    )
+    from repro.tools import PREDICTOR_REGISTRY
+    from repro.workloads.suite import load_benchmark
+
+    diagnostics = check_predictor_classes()
+    diagnostics.extend(check_registry())
+    trace = load_benchmark("compress", length=trace_length)
+    for spec_name in sorted(PREDICTOR_REGISTRY):
+        factory = PREDICTOR_REGISTRY[spec_name]
+        try:
+            factory()
+        except Exception:  # already reported by check_registry
+            continue
+        diagnostics.extend(
+            run_contract_suite(factory, trace, label=f"registry:{spec_name}")
+        )
+    return diagnostics
+
+
+def run_lint_pass(root: Optional[str]) -> List[Diagnostic]:
+    """Lint the package source tree for determinism hazards."""
+    from repro.check.lint import lint_paths
+
+    if root is None:
+        import repro
+
+        root = str(Path(repro.__file__).parent)
+    return lint_paths([root])
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Static verification: workload IR programs, predictor "
+            "contracts, and determinism lint."
+        ),
+    )
+    parser.add_argument(
+        "passes",
+        nargs="*",
+        default=[],
+        metavar="{ir,contracts,lint}",
+        help=f"which passes to run (default: {' '.join(PASS_NAMES)})",
+    )
+    parser.add_argument(
+        "--trace-length",
+        type=int,
+        default=DEFAULT_CONTRACT_TRACE_LENGTH,
+        help="dynamic branches used by the contract pass "
+             f"(default {DEFAULT_CONTRACT_TRACE_LENGTH})",
+    )
+    parser.add_argument(
+        "--lint-root",
+        default=None,
+        help="directory linted by the lint pass (default: the installed "
+             "repro package)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings too, not just errors",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _parser()
+    args = parser.parse_args(argv)
+    unknown = [name for name in args.passes if name not in PASS_NAMES]
+    if unknown:
+        parser.error(
+            f"unknown pass(es) {', '.join(map(repr, unknown))}; choose "
+            f"from {', '.join(PASS_NAMES)}"
+        )
+    selected = list(dict.fromkeys(args.passes)) or PASS_NAMES
+
+    results: Dict[str, List[Diagnostic]] = {}
+    for pass_name in PASS_NAMES:
+        if pass_name not in selected:
+            continue
+        if pass_name == "ir":
+            print("ir: verifying workload suite programs...", flush=True)
+            results["ir"] = run_ir_pass()
+        elif pass_name == "contracts":
+            print("contracts: auditing predictor classes and registry...",
+                  flush=True)
+            results["contracts"] = run_contracts_pass(args.trace_length)
+        elif pass_name == "lint":
+            print("lint: scanning source for determinism hazards...",
+                  flush=True)
+            results["lint"] = run_lint_pass(args.lint_root)
+
+    errors = warnings = 0
+    for pass_name, diagnostics in results.items():
+        errors += sum(1 for d in diagnostics if d.severity == ERROR)
+        warnings += sum(1 for d in diagnostics if d.severity == WARNING)
+        if diagnostics:
+            print(f"\n{pass_name} findings:")
+            print(format_diagnostics(diagnostics))
+    print(
+        f"\ncheck: {len(results)} pass(es), {errors} error(s), "
+        f"{warnings} warning(s)"
+    )
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Diagnostic records shared by every static-analysis pass.
+
+A pass returns a flat list of :class:`Diagnostic`; severity decides the
+process exit code (any :data:`ERROR` fails the check), codes give tests
+and CI something stable to assert on, and ``location`` is free-form
+("program:procedure", "file:line", "registry:name").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+#: Severity levels, ordered most to least severe.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from a static-analysis pass.
+
+    Attributes:
+        code: Stable machine-readable code (``IR...``, ``PC...``,
+            ``DH...``).
+        severity: One of :data:`ERROR`, :data:`WARNING`, :data:`INFO`.
+        message: Human-readable description of the finding.
+        location: Where it was found (pass-specific format).
+    """
+
+    code: str
+    severity: str
+    message: str
+    location: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_ORDER:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def __str__(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return f"{self.severity}: {self.code}: {self.message}{where}"
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """True if any diagnostic is error-severity."""
+    return any(diag.severity == ERROR for diag in diagnostics)
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Order by severity (errors first), then code, then location."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (_SEVERITY_ORDER[d.severity], d.code, d.location),
+    )
+
+
+def format_diagnostics(diagnostics: Sequence[Diagnostic]) -> str:
+    """Render a diagnostic listing, one per line, errors first."""
+    if not diagnostics:
+        return "no findings"
+    return "\n".join(str(diag) for diag in sort_diagnostics(diagnostics))
+
+
+class CheckFailure(Exception):
+    """A check pass found error-severity diagnostics.
+
+    The structured findings stay available on :attr:`diagnostics` so
+    callers (the workload suite, tests, CI wrappers) can render or
+    filter them instead of parsing the message.
+    """
+
+    def __init__(self, summary: str, diagnostics: Sequence[Diagnostic]) -> None:
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+        super().__init__(f"{summary}\n{format_diagnostics(self.diagnostics)}")

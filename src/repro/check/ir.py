@@ -1,0 +1,399 @@
+"""Static IR verifier for synthetic workload programs.
+
+Walks a :class:`~repro.workloads.program.Program` without executing it
+and reports structural faults that would silently distort every trace
+generated from it:
+
+====== ======== ========================================================
+code   severity finding
+====== ======== ========================================================
+IR001  error    procedure unreachable from main
+IR002  error    call to an undefined procedure
+IR003  error    branch site never laid out (address still -1)
+IR004  error    branch-address collision (statement aliased at two
+                program points, so two sites share one pc)
+IR005  error    address violates the ``ADDRESS_STRIDE`` layout grid
+IR006  error    branch-direction convention violated (loop branches
+                must lay out backward; if/while-exit branches forward)
+IR007  error/   statically zero trip count (error on for-loops, whose
+       warning  interpreter silently clamps to one trip; warning on
+                while-loops, whose body is then dead)
+IR008  error    trip-count generator statically unbounded
+IR009  error    condition reads a variable no reachable statement
+                assigns
+IR010  warning  condition reads a counter no reachable statement sets
+                (it would silently read as zero)
+IR011  warning  statically constant branch condition
+IR012  warning  statement statically unreachable (dead if-arm or dead
+                while-body)
+IR013  error    negative trip-count bound
+IR100  info     opaque trip-count generator (no ``trip_bounds``)
+IR101  info     unknown statement type, not verified
+====== ======== ========================================================
+
+The direction conventions are the paper's layout premise (section 3.2):
+backward-branch tagging and BTFNT are only meaningful when loop-closing
+branches really lay out backward and if/while-exit branches forward.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.check.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    CheckFailure,
+    Diagnostic,
+    sort_diagnostics,
+)
+from repro.workloads.conditions import (
+    BernoulliExpr,
+    ConstExpr,
+    CounterBelowExpr,
+    Expr,
+    VarExpr,
+)
+from repro.workloads.program import (
+    ADDRESS_STRIDE,
+    AddCounter,
+    Assign,
+    Block,
+    Call,
+    Effect,
+    ForLoop,
+    If,
+    Procedure,
+    Program,
+    SetCounter,
+    Statement,
+    WhileLoop,
+)
+
+
+class ProgramVerificationError(CheckFailure):
+    """A program failed static verification (error-severity findings)."""
+
+
+def _iter_children(statement: Statement) -> Iterator[Statement]:
+    """Direct sub-statements, in program order (does not follow calls)."""
+    if isinstance(statement, Block):
+        yield from statement.statements
+    elif isinstance(statement, If):
+        if statement.then_body is not None:
+            yield statement.then_body
+        if statement.else_body is not None:
+            yield statement.else_body
+    elif isinstance(statement, (ForLoop, WhileLoop)):
+        yield statement.body
+
+
+def _iter_exprs(root: Expr) -> Iterator[Expr]:
+    """The expression tree rooted at ``root``, preorder."""
+    stack = [root]
+    while stack:
+        expr = stack.pop()
+        yield expr
+        stack.extend(expr.children())
+
+
+class _ProgramWalk:
+    """A full walk of the program, tracking locations and aliasing."""
+
+    def __init__(self, program: Program, name: str) -> None:
+        self.program = program
+        self.name = name
+        self.diagnostics: List[Diagnostic] = []
+        #: id(statement) -> location of first visit (aliasing detection).
+        self._visited: Dict[int, str] = {}
+        #: (kind, pc) for every laid-out branch site.
+        self.branch_pcs: Dict[int, str] = {}
+        self.assigned_variables: Set[str] = set()
+        self.set_counters: Set[str] = set()
+        self.callees: List[Tuple[str, str]] = []  # (callee, location)
+        self.conditions: List[Tuple[Expr, str]] = []
+
+    def report(
+        self, code: str, severity: str, message: str, location: str
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(code=code, severity=severity, message=message,
+                       location=f"{self.name}:{location}")
+        )
+
+    # -- address checks --------------------------------------------------
+
+    def _check_branch_site(
+        self, kind: str, pc: int, target: int, location: str
+    ) -> None:
+        if pc < 0 or target < 0:
+            self.report(
+                "IR003", ERROR,
+                f"{kind} branch site was never laid out (pc={pc}, "
+                f"target={target})", location,
+            )
+            return
+        for label, address in (("pc", pc), ("target", target)):
+            if address % ADDRESS_STRIDE:
+                self.report(
+                    "IR005", ERROR,
+                    f"{kind} {label} {address:#x} is off the "
+                    f"{ADDRESS_STRIDE}-byte address grid", location,
+                )
+        previous = self.branch_pcs.get(pc)
+        if previous is not None:
+            self.report(
+                "IR004", ERROR,
+                f"{kind} branch pc {pc:#x} collides with the {previous} "
+                "branch site at the same address", location,
+            )
+        else:
+            self.branch_pcs[pc] = f"{kind} ({location})"
+        # Direction conventions: for-loops branch backward, everything
+        # else branches forward past the statement.
+        if kind == "for-loop":
+            if target >= pc:
+                self.report(
+                    "IR006", ERROR,
+                    f"loop branch at {pc:#x} must branch backward but "
+                    f"targets {target:#x}", location,
+                )
+        elif target <= pc:
+            self.report(
+                "IR006", ERROR,
+                f"{kind} branch at {pc:#x} must branch forward but "
+                f"targets {target:#x}", location,
+            )
+
+    # -- trip-count checks ------------------------------------------------
+
+    def _check_trips(self, statement, kind: str, location: str) -> None:
+        bounds: Optional[Tuple[int, Optional[int]]] = getattr(
+            statement.trips, "trip_bounds", None
+        )
+        if bounds is None:
+            self.report(
+                "IR100", INFO,
+                f"{kind} trip-count generator is opaque (no trip_bounds); "
+                "boundedness not statically verifiable", location,
+            )
+            return
+        low, high = bounds
+        if low < 0 or (high is not None and high < 0):
+            self.report(
+                "IR013", ERROR,
+                f"{kind} trip bounds {bounds} include negative counts",
+                location,
+            )
+            return
+        if high is None or (isinstance(high, float) and math.isinf(high)):
+            self.report(
+                "IR008", ERROR,
+                f"{kind} trip-count generator is statically unbounded "
+                f"(bounds {bounds})", location,
+            )
+            return
+        if high == 0:
+            if kind == "for-loop":
+                self.report(
+                    "IR007", ERROR,
+                    "for-loop trip count is statically zero; the "
+                    "interpreter silently clamps it to one trip", location,
+                )
+            else:
+                self.report(
+                    "IR007", WARNING,
+                    "while-loop trip count is statically zero; the exit "
+                    "branch is constant-taken", location,
+                )
+                self.report(
+                    "IR012", WARNING,
+                    "while-loop body is statically unreachable", location,
+                )
+
+    # -- statement walk ---------------------------------------------------
+
+    def walk_procedure(self, procedure: Procedure) -> None:
+        self._walk(procedure.body, f"{procedure.name}/body")
+
+    def _walk(self, statement: Statement, location: str) -> None:
+        first_seen = self._visited.get(id(statement))
+        if first_seen is not None:
+            self.report(
+                "IR004", ERROR,
+                f"statement aliased at two program points (first seen at "
+                f"{first_seen}); both emit the same branch addresses",
+                location,
+            )
+            return
+        self._visited[id(statement)] = location
+
+        if isinstance(statement, Block):
+            for index, child in enumerate(statement.statements):
+                self._walk(child, f"{location}[{index}]")
+        elif isinstance(statement, If):
+            self._check_branch_site("if", statement.pc, statement.target, location)
+            self.conditions.append((statement.condition, location))
+            self._check_constant_condition(statement, location)
+            if statement.then_body is not None:
+                self._walk(statement.then_body, f"{location}/then")
+            if statement.else_body is not None:
+                self._walk(statement.else_body, f"{location}/else")
+        elif isinstance(statement, ForLoop):
+            self._check_branch_site(
+                "for-loop", statement.pc, statement.start, location
+            )
+            self._check_trips(statement, "for-loop", location)
+            self._walk(statement.body, f"{location}/loop-body")
+        elif isinstance(statement, WhileLoop):
+            self._check_branch_site(
+                "while-loop", statement.pc, statement.target, location
+            )
+            self._check_trips(statement, "while-loop", location)
+            self._walk(statement.body, f"{location}/loop-body")
+        elif isinstance(statement, Assign):
+            self.assigned_variables.add(statement.name)
+            self.conditions.append((statement.expr, location))
+        elif isinstance(statement, (AddCounter, SetCounter)):
+            self.set_counters.add(statement.name)
+        elif isinstance(statement, Call):
+            self.callees.append((statement.callee, location))
+        elif isinstance(statement, Effect):
+            pass  # opaque mutation; nothing statically checkable
+        else:
+            self.report(
+                "IR101", INFO,
+                f"unknown statement type {type(statement).__name__}; "
+                "not verified", location,
+            )
+
+    def _check_constant_condition(self, statement: If, location: str) -> None:
+        condition = statement.condition
+        constant: Optional[bool] = None
+        if isinstance(condition, ConstExpr):
+            constant = condition.value
+        elif isinstance(condition, BernoulliExpr):
+            if condition.probability >= 1.0:
+                constant = True
+            elif condition.probability <= 0.0:
+                constant = False
+        if constant is None:
+            return
+        self.report(
+            "IR011", WARNING,
+            f"branch condition is statically constant "
+            f"({'taken' if constant else 'not-taken'})", location,
+        )
+        dead_arm = "else" if constant else "then"
+        dead_body = statement.else_body if constant else statement.then_body
+        if dead_body is not None:
+            self.report(
+                "IR012", WARNING,
+                f"{dead_arm}-arm is statically unreachable", location,
+            )
+
+
+def _reachable_procedures(walks: Dict[str, _ProgramWalk], main: str) -> Set[str]:
+    """Transitive closure of the call graph from main."""
+    reachable: Set[str] = set()
+    frontier = [main]
+    while frontier:
+        name = frontier.pop()
+        if name in reachable or name not in walks:
+            continue
+        reachable.add(name)
+        frontier.extend(callee for callee, _ in walks[name].callees)
+    return reachable
+
+
+def verify_program(program: Program, name: str = "program") -> List[Diagnostic]:
+    """Statically verify ``program``; return all findings, errors first.
+
+    Args:
+        program: The workload IR to verify (never executed).
+        name: Label used in diagnostic locations (benchmark name).
+    """
+    # Walk each procedure separately so aliasing is judged per static
+    # program point (calling one procedure from many sites is fine; the
+    # same Statement object appearing twice in one layout is not).
+    per_procedure: Dict[str, _ProgramWalk] = {}
+    shared = _ProgramWalk(program, name)
+    for procedure in program.procedures:
+        walk = _ProgramWalk(program, name)
+        # Share aliasing, address, and definition state across
+        # procedures: addresses are program-global, and a statement
+        # aliased across two procedure bodies is just as corrupt.
+        walk._visited = shared._visited
+        walk.branch_pcs = shared.branch_pcs
+        walk.assigned_variables = shared.assigned_variables
+        walk.set_counters = shared.set_counters
+        walk.diagnostics = shared.diagnostics
+        walk.walk_procedure(procedure)
+        per_procedure[procedure.name] = walk
+
+    diagnostics = shared.diagnostics
+
+    # Call-graph checks: undefined callees and unreachable procedures.
+    defined = {procedure.name for procedure in program.procedures}
+    for proc_name, walk in per_procedure.items():
+        for callee, location in walk.callees:
+            if callee not in defined:
+                diagnostics.append(Diagnostic(
+                    code="IR002", severity=ERROR,
+                    message=f"call to undefined procedure {callee!r}",
+                    location=f"{name}:{location}",
+                ))
+    reachable = _reachable_procedures(per_procedure, program.main)
+    for proc_name in defined - reachable:
+        diagnostics.append(Diagnostic(
+            code="IR001", severity=ERROR,
+            message=f"procedure {proc_name!r} is unreachable from main "
+                    f"{program.main!r}",
+            location=f"{name}:{proc_name}",
+        ))
+
+    # Condition well-formedness over the whole program: a variable or
+    # counter defined in *any* reachable procedure may feed any
+    # condition (procedure bodies share one Environment).
+    assigned = shared.assigned_variables
+    counters = shared.set_counters
+    for walk in per_procedure.values():
+        for condition, location in walk.conditions:
+            for expr in _iter_exprs(condition):
+                if isinstance(expr, VarExpr) and expr.name not in assigned:
+                    diagnostics.append(Diagnostic(
+                        code="IR009", severity=ERROR,
+                        message=f"condition reads variable {expr.name!r} "
+                                "which no statement assigns",
+                        location=f"{name}:{location}",
+                    ))
+                elif (
+                    isinstance(expr, CounterBelowExpr)
+                    and expr.name not in counters
+                ):
+                    diagnostics.append(Diagnostic(
+                        code="IR010", severity=WARNING,
+                        message=f"condition reads counter {expr.name!r} "
+                                "which no statement sets (reads as zero)",
+                        location=f"{name}:{location}",
+                    ))
+    return sort_diagnostics(diagnostics)
+
+
+def verify_program_or_raise(program: Program, name: str = "program") -> None:
+    """Raise :class:`ProgramVerificationError` on error-severity findings.
+
+    The workload suite calls this before trace generation so a malformed
+    benchmark fails fast with the full structured listing instead of
+    silently producing a corrupt trace.
+    """
+    diagnostics = verify_program(program, name=name)
+    errors = [diag for diag in diagnostics if diag.severity == ERROR]
+    if errors:
+        raise ProgramVerificationError(
+            f"workload {name!r} failed IR verification "
+            f"({len(errors)} error(s))",
+            diagnostics,
+        )

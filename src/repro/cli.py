@@ -7,6 +7,7 @@ Examples::
     repro all                    # the whole suite, paper order
     repro all --max-length 50000 # smaller traces, faster
     python -m repro all          # equivalent module form
+    python -m repro check        # static verification (repro.check)
 """
 
 from __future__ import annotations
@@ -38,8 +39,8 @@ def _parser() -> argparse.ArgumentParser:
         nargs="+",
         help=(
             f"experiment ids ({', '.join(EXPERIMENT_IDS)}), extension ids "
-            f"({', '.join(EXTENSION_IDS)}), 'all' (paper artefacts) or "
-            "'extensions'"
+            f"({', '.join(EXTENSION_IDS)}), 'all' (paper artefacts), "
+            "'extensions', or 'check' (static verification)"
         ),
     )
     parser.add_argument(
@@ -75,6 +76,14 @@ def _parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        # Static analysis has its own argument set; dispatch before the
+        # experiment parser sees it.
+        from repro.check.cli import main as check_main
+
+        return check_main(argv[1:])
     args = _parser().parse_args(argv)
     requested: List[str] = []
     for item in args.experiments:

@@ -19,6 +19,8 @@ class BimodalPredictor(BranchPredictor):
         counter_bits: Counter width; 2 in the paper.
     """
 
+    name = "bimodal"
+
     def __init__(self, table_bits: int = 12, counter_bits: int = 2) -> None:
         if table_bits < 0:
             raise ValueError(f"table_bits must be >= 0, got {table_bits}")

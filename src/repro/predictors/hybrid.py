@@ -35,6 +35,8 @@ class ChooserHybrid(BranchPredictor):
         counter_bits: Chooser counter width.
     """
 
+    name = "hybrid"
+
     def __init__(
         self,
         component_a: BranchPredictor,

@@ -32,6 +32,8 @@ class InterferenceFreeGshare(BranchPredictor):
         counter_bits: Counter width (2 in the paper).
     """
 
+    name = "if-gshare"
+
     def __init__(self, history_bits: int = 16, counter_bits: int = 2) -> None:
         if history_bits < 0:
             raise ValueError(f"history_bits must be >= 0, got {history_bits}")
@@ -116,6 +118,8 @@ class InterferenceFreePAs(BranchPredictor):
         history_bits: Per-branch history register length.
         counter_bits: Counter width.
     """
+
+    name = "if-pas"
 
     def __init__(self, history_bits: int = 12, counter_bits: int = 2) -> None:
         if history_bits < 0:

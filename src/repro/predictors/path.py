@@ -34,6 +34,8 @@ class PathBasedPredictor(BranchPredictor):
         counter_bits: Counter width.
     """
 
+    name = "path"
+
     def __init__(
         self,
         depth: int = 8,

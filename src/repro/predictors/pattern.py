@@ -38,6 +38,8 @@ class FixedLengthPatternPredictor(BranchPredictor):
         k: Pattern length; 1 <= k <= :data:`MAX_PATTERN_LENGTH`.
     """
 
+    name = "fixed-pattern"
+
     def __init__(self, k: int) -> None:
         if not 1 <= k <= MAX_PATTERN_LENGTH:
             raise ValueError(

@@ -37,6 +37,8 @@ class StaticPhtGlobal(BranchPredictor):
         history_bits: Global history register length.
     """
 
+    name = "static-pht-global"
+
     def __init__(self, history_bits: int = 8) -> None:
         if history_bits < 0:
             raise ValueError(f"history_bits must be >= 0, got {history_bits}")
@@ -96,6 +98,8 @@ class StaticPhtPAs(BranchPredictor):
     Args:
         history_bits: Per-branch history register length.
     """
+
+    name = "static-pht-pas"
 
     def __init__(self, history_bits: int = 6) -> None:
         if history_bits < 0:
@@ -161,6 +165,8 @@ class BranchClassificationHybrid(BranchPredictor):
         dynamic_component: Predictor used for weakly biased branches.
         bias_threshold: Profiled-bias cutoff for static prediction.
     """
+
+    name = "chang"
 
     def __init__(
         self,

@@ -56,6 +56,8 @@ class SelectiveHistoryPredictor(BranchPredictor):
         counter_bits: Second-level counter width (2 in the paper).
     """
 
+    name = "selective"
+
     def __init__(
         self,
         num_branches: int = 3,

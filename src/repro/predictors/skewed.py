@@ -38,6 +38,8 @@ class SkewedPredictor(BranchPredictor):
         counter_bits: Counter width.
     """
 
+    name = "egskew"
+
     def __init__(
         self,
         history_bits: int = 10,

@@ -41,6 +41,8 @@ class GsharePredictor(BranchPredictor):
         counter_bits: PHT counter width.
     """
 
+    name = "gshare"
+
     def __init__(
         self,
         history_bits: int = 16,
@@ -125,6 +127,8 @@ class GAsPredictor(BranchPredictor):
         counter_bits: PHT counter width.
     """
 
+    name = "gas"
+
     def __init__(
         self,
         history_bits: int = 12,
@@ -180,6 +184,8 @@ class PAsPredictor(BranchPredictor):
         pht_select_bits: log2 of the number of PHTs.
         counter_bits: PHT counter width.
     """
+
+    name = "pas"
 
     def __init__(
         self,
@@ -269,6 +275,8 @@ class GAgPredictor(GAsPredictor):
     Equivalent to :class:`GAsPredictor` with zero select bits.
     """
 
+    name = "gag"
+
     def __init__(self, history_bits: int = 12, counter_bits: int = 2) -> None:
         super().__init__(
             history_bits=history_bits,
@@ -285,6 +293,8 @@ class PAgPredictor(PAsPredictor):
     pattern alone selects the counter, so branches with the same local
     pattern interfere -- the configuration Yeh/Patt contrast with PAs.
     """
+
+    name = "pag"
 
     def __init__(
         self,

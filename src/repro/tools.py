@@ -6,6 +6,7 @@ Subcommands::
     python -m repro.tools stats gcc.bpt
     python -m repro.tools simulate gcc.bpt --predictor gshare --predictor pas
     python -m repro.tools interference gcc.bpt
+    python -m repro.tools check
 
 The simulate subcommand accepts predictor specs of the form
 ``name[:key=value,...]``, e.g. ``gshare:history_bits=12,pht_bits=12``.
@@ -76,23 +77,43 @@ def parse_predictor_spec(spec: str) -> BranchPredictor:
 
     Values are parsed as integers (every registry parameter is an int
     width or size).
+
+    Raises:
+        SystemExit: On an unknown predictor name, a malformed
+            ``key=value`` pair, or arguments the predictor's
+            constructor rejects -- always naming the offending spec.
     """
     name, _, argument_text = spec.partition(":")
     try:
         factory = PREDICTOR_REGISTRY[name]
     except KeyError:
-        raise ValueError(
-            f"unknown predictor {name!r}; choose from "
-            f"{', '.join(sorted(PREDICTOR_REGISTRY))}"
+        raise SystemExit(
+            f"error: unknown predictor {name!r} in spec {spec!r}; choose "
+            f"from {', '.join(sorted(PREDICTOR_REGISTRY))}"
         ) from None
     kwargs = {}
     if argument_text:
         for item in argument_text.split(","):
             key, _, value = item.partition("=")
             if not value:
-                raise ValueError(f"malformed predictor argument {item!r}")
-            kwargs[key.strip()] = int(value)
-    return factory(**kwargs)
+                raise SystemExit(
+                    f"error: malformed predictor argument {item!r} in spec "
+                    f"{spec!r}; expected key=value"
+                )
+            try:
+                kwargs[key.strip()] = int(value)
+            except ValueError:
+                raise SystemExit(
+                    f"error: predictor argument {item!r} in spec {spec!r} "
+                    "is not an integer"
+                ) from None
+    try:
+        return factory(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise SystemExit(
+            f"error: bad arguments for predictor {name!r} in spec "
+            f"{spec!r}: {error}"
+        ) from None
 
 
 def _load_any(path: str):
@@ -156,6 +177,15 @@ def _cmd_interference(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.cli import main as check_main  # lazy: avoid cycle
+
+    forwarded: List[str] = list(args.passes)
+    if args.strict:
+        forwarded.append("--strict")
+    return check_main(forwarded)
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-tools", description="Branch-trace toolkit."
@@ -194,6 +224,17 @@ def _parser() -> argparse.ArgumentParser:
     interference.add_argument("--history-bits", type=int, default=16)
     interference.add_argument("--pht-bits", type=int, default=16)
     interference.set_defaults(func=_cmd_interference)
+
+    check = subparsers.add_parser(
+        "check", help="run the static verification passes (repro.check)"
+    )
+    check.add_argument(
+        "passes", nargs="*", choices=["ir", "contracts", "lint"],
+        default=[], help="passes to run (default: all)",
+    )
+    check.add_argument("--strict", action="store_true",
+                       help="fail on warnings too")
+    check.set_defaults(func=_cmd_check)
     return parser
 
 

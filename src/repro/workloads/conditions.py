@@ -11,7 +11,7 @@ the paper's source-level examples are.
 from __future__ import annotations
 
 import abc
-from typing import Callable, List, Sequence, TYPE_CHECKING
+from typing import Callable, List, Sequence, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.workloads.program import Environment
@@ -24,12 +24,20 @@ class Expr(abc.ABC):
     def evaluate(self, env: "Environment") -> bool:
         """Evaluate against the current environment."""
 
+    def children(self) -> Tuple["Expr", ...]:
+        """Direct sub-expressions; the IR verifier walks these statically."""
+        return ()
+
 
 class ConstExpr(Expr):
     """A constant truth value."""
 
     def __init__(self, value: bool) -> None:
         self._value = bool(value)
+
+    @property
+    def value(self) -> bool:
+        return self._value
 
     def evaluate(self, env: "Environment") -> bool:
         return self._value
@@ -60,6 +68,9 @@ class NotExpr(Expr):
     def __init__(self, operand: Expr) -> None:
         self._operand = operand
 
+    def children(self) -> Tuple[Expr, ...]:
+        return (self._operand,)
+
     def evaluate(self, env: "Environment") -> bool:
         return not self._operand.evaluate(env)
 
@@ -72,6 +83,9 @@ class AndExpr(Expr):
             raise ValueError("AndExpr needs at least two operands")
         self._operands = operands
 
+    def children(self) -> Tuple[Expr, ...]:
+        return tuple(self._operands)
+
     def evaluate(self, env: "Environment") -> bool:
         return all(op.evaluate(env) for op in self._operands)
 
@@ -83,6 +97,9 @@ class OrExpr(Expr):
         if len(operands) < 2:
             raise ValueError("OrExpr needs at least two operands")
         self._operands = operands
+
+    def children(self) -> Tuple[Expr, ...]:
+        return tuple(self._operands)
 
     def evaluate(self, env: "Environment") -> bool:
         return any(op.evaluate(env) for op in self._operands)
@@ -100,6 +117,10 @@ class BernoulliExpr(Expr):
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {probability}")
         self._probability = probability
+
+    @property
+    def probability(self) -> float:
+        return self._probability
 
     def evaluate(self, env: "Environment") -> bool:
         return env.rng.random() < self._probability
@@ -162,6 +183,9 @@ class PhaseExpr(Expr):
         self._first = first
         self._second = second
         self._count = 0
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self._first, self._second)
 
     def evaluate(self, env: "Environment") -> bool:
         phase = (self._count // self._period) % 2
@@ -234,6 +258,10 @@ class CounterBelowExpr(Expr):
 
 
 #: A trip-count generator: called at loop entry, returns the trip count.
+#: Generators built by the factories below carry a ``trip_bounds``
+#: attribute -- an inclusive ``(low, high)`` pair (``high`` may be None
+#: for "unbounded") that the IR verifier reads to prove loops bounded
+#: and non-degenerate without executing them.
 TripCountGenerator = Callable[["Environment"], int]
 
 
@@ -245,6 +273,7 @@ def constant_trips(n: int) -> TripCountGenerator:
     def generate(env: "Environment") -> int:
         return n
 
+    generate.trip_bounds = (n, n)
     return generate
 
 
@@ -256,6 +285,7 @@ def uniform_trips(low: int, high: int) -> TripCountGenerator:
     def generate(env: "Environment") -> int:
         return env.rng.randint(low, high)
 
+    generate.trip_bounds = (low, high)
     return generate
 
 
@@ -279,4 +309,5 @@ def drifting_trips(
             state["count"] = env.rng.randint(low, high)
         return state["count"]
 
+    generate.trip_bounds = (min(initial, low), max(initial, high))
     return generate

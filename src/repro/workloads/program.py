@@ -289,6 +289,11 @@ class Program:
             raise KeyError(f"undefined procedure {name!r}") from None
 
     @property
+    def procedures(self) -> List[Procedure]:
+        """All procedures in layout order (static-analysis entry point)."""
+        return list(self._procedures.values())
+
+    @property
     def main(self) -> str:
         return self._main
 

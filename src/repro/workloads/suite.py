@@ -332,6 +332,13 @@ def benchmark_spec(
 def _cached_trace(name: str, length: int, run_seed: int) -> Trace:
     spec = benchmark_spec(name, length, run_seed)
     program = build_program(spec.profile)
+    # Fail fast on a malformed program: a structurally unfaithful IR
+    # (bad layout, dead code, undefined conditions) would silently
+    # distort every trace and table downstream.  Raises
+    # ProgramVerificationError with the full diagnostic listing.
+    from repro.check.ir import verify_program_or_raise
+
+    verify_program_or_raise(program, name=spec.name)
     return execute_program(program, spec.length, spec.run_seed)
 
 

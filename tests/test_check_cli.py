@@ -1,0 +1,50 @@
+"""Tests for the ``repro check`` CLI wiring (repro.check.cli)."""
+
+import pytest
+
+from repro.check import cli as check_cli
+from repro.cli import main as repro_main
+from repro.tools import main as tools_main
+
+
+class TestCheckCli:
+    def test_full_check_passes_on_seed_repo(self, capsys):
+        assert check_cli.main([]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_single_pass_selection(self, capsys):
+        assert check_cli.main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "lint:" in out
+        assert "ir:" not in out
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(SystemExit):
+            check_cli.main(["nonsense"])
+
+    def test_lint_root_failure_sets_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "hazard.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert check_cli.main(["lint", "--lint-root", str(tmp_path)]) == 1
+        assert "DH002" in capsys.readouterr().out
+
+
+class TestReproCliDispatch:
+    def test_python_m_repro_check_dispatches(self, capsys):
+        assert repro_main(["check", "lint"]) == 0
+        assert "lint:" in capsys.readouterr().out
+
+    def test_experiment_ids_still_rejected(self, capsys):
+        assert repro_main(["not-an-experiment"]) == 2
+
+
+class TestToolsCheckSubcommand:
+    def test_tools_check_runs_lint_pass(self, capsys):
+        assert tools_main(["check", "lint"]) == 0
+        assert "lint:" in capsys.readouterr().out
+
+    def test_tools_check_contracts_pass(self, capsys):
+        assert tools_main(["check", "contracts"]) == 0
+        out = capsys.readouterr().out
+        assert "contracts:" in out

@@ -1,0 +1,243 @@
+"""Tests for the static IR verifier (repro.check.ir)."""
+
+import pytest
+
+from repro.check.diagnostics import ERROR, WARNING
+from repro.check.ir import (
+    ProgramVerificationError,
+    verify_program,
+    verify_program_or_raise,
+)
+from repro.workloads.conditions import (
+    BernoulliExpr,
+    ConstExpr,
+    CounterBelowExpr,
+    VarExpr,
+    constant_trips,
+)
+from repro.workloads.generator import build_program
+from repro.workloads.program import (
+    Assign,
+    Block,
+    Call,
+    ForLoop,
+    If,
+    Procedure,
+    Program,
+    SetCounter,
+    WhileLoop,
+)
+from repro.workloads.suite import BENCHMARK_NAMES, benchmark_spec
+
+
+def codes(diagnostics):
+    return {diag.code for diag in diagnostics}
+
+
+def errors_and_warnings(diagnostics):
+    return [
+        diag for diag in diagnostics if diag.severity in (ERROR, WARNING)
+    ]
+
+
+def simple_program(*statements, procedures=()):
+    return Program(
+        [*procedures, Procedure("main", Block(list(statements)))],
+        main="main",
+    )
+
+
+class TestSuiteProgramsVerifyClean:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_benchmark_program_is_clean(self, name):
+        program = build_program(benchmark_spec(name, length=1000).profile)
+        findings = errors_and_warnings(verify_program(program, name=name))
+        assert findings == [], "\n".join(str(d) for d in findings)
+
+
+class TestCleanProgram:
+    def test_minimal_program_has_no_findings(self):
+        program = simple_program(
+            If(BernoulliExpr(0.5)),
+            ForLoop(constant_trips(3), Block([If(BernoulliExpr(0.9))])),
+        )
+        assert errors_and_warnings(verify_program(program)) == []
+
+    def test_or_raise_passes_clean_program(self):
+        program = simple_program(If(BernoulliExpr(0.5)))
+        verify_program_or_raise(program)  # must not raise
+
+
+class TestCallGraph:
+    def test_unreachable_procedure(self):
+        orphan = Procedure("orphan", Block([If(BernoulliExpr(0.5))]))
+        program = simple_program(
+            If(BernoulliExpr(0.5)), procedures=[orphan]
+        )
+        diagnostics = verify_program(program)
+        assert "IR001" in codes(diagnostics)
+        assert any("orphan" in diag.message for diag in diagnostics)
+
+    def test_procedure_reachable_through_call_chain(self):
+        inner = Procedure("inner", Block([If(BernoulliExpr(0.5))]))
+        outer = Procedure("outer", Block([Call("inner")]))
+        program = simple_program(
+            Call("outer"), procedures=[inner, outer]
+        )
+        assert "IR001" not in codes(verify_program(program))
+
+    def test_undefined_callee(self):
+        program = simple_program(If(BernoulliExpr(0.5)), Call("ghost"))
+        diagnostics = verify_program(program)
+        assert "IR002" in codes(diagnostics)
+
+
+class TestAddressLayout:
+    def test_aliased_statement_reports_collision(self):
+        shared = If(BernoulliExpr(0.5))
+        program = simple_program(shared, shared)
+        assert "IR004" in codes(verify_program(program))
+
+    def test_stride_violation_detected(self):
+        branch = If(BernoulliExpr(0.5))
+        program = simple_program(branch)
+        branch.pc += 1  # knock the site off the address grid
+        assert "IR005" in codes(verify_program(program))
+
+    def test_backward_if_branch_violates_convention(self):
+        branch = If(BernoulliExpr(0.5))
+        program = simple_program(branch)
+        branch.target = branch.pc - 8  # ifs must branch forward
+        assert "IR006" in codes(verify_program(program))
+
+    def test_forward_loop_branch_violates_convention(self):
+        loop = ForLoop(constant_trips(3), Block([]))
+        program = simple_program(loop)
+        loop.start = loop.pc + 8  # loop branches must branch backward
+        assert "IR006" in codes(verify_program(program))
+
+    def test_unlaid_out_branch_site(self):
+        # Bypass Program construction entirely: a statement never given
+        # addresses still carries the -1 sentinel.
+        branch = If(BernoulliExpr(0.5))
+        program = simple_program(If(BernoulliExpr(0.5)))
+        program.procedure("main").body.statements.append(branch)
+        assert "IR003" in codes(verify_program(program))
+
+
+class TestTripCounts:
+    def test_zero_trip_for_loop_is_error(self):
+        program = simple_program(ForLoop(constant_trips(0), Block([])))
+        diagnostics = verify_program(program)
+        assert any(
+            diag.code == "IR007" and diag.severity == ERROR
+            for diag in diagnostics
+        )
+
+    def test_zero_trip_while_loop_warns_dead_body(self):
+        program = simple_program(
+            WhileLoop(constant_trips(0), Block([If(BernoulliExpr(0.5))]))
+        )
+        diagnostics = verify_program(program)
+        assert any(
+            diag.code == "IR007" and diag.severity == WARNING
+            for diag in diagnostics
+        )
+        assert "IR012" in codes(diagnostics)
+
+    def test_unbounded_generator_is_error(self):
+        def trips(env):
+            return 10**9
+
+        trips.trip_bounds = (1, None)
+        program = simple_program(ForLoop(trips, Block([])))
+        assert "IR008" in codes(verify_program(program))
+
+    def test_negative_bound_is_error(self):
+        def trips(env):
+            return 1
+
+        trips.trip_bounds = (-2, 4)
+        program = simple_program(ForLoop(trips, Block([])))
+        assert "IR013" in codes(verify_program(program))
+
+    def test_opaque_generator_is_info_only(self):
+        program = simple_program(ForLoop(lambda env: 3, Block([])))
+        diagnostics = verify_program(program)
+        assert "IR100" in codes(diagnostics)
+        assert errors_and_warnings(diagnostics) == []
+
+
+class TestConditions:
+    def test_undefined_variable_is_error(self):
+        program = simple_program(If(VarExpr("ghost")))
+        diagnostics = verify_program(program)
+        assert "IR009" in codes(diagnostics)
+        assert any("ghost" in diag.message for diag in diagnostics)
+
+    def test_assigned_variable_is_fine(self):
+        program = simple_program(
+            Assign("flag", BernoulliExpr(0.5)), If(VarExpr("flag"))
+        )
+        assert "IR009" not in codes(verify_program(program))
+
+    def test_variable_assigned_in_other_procedure_is_fine(self):
+        # Procedure bodies share one Environment, so a variable assigned
+        # by the caller may feed a callee's condition (the call motif).
+        callee = Procedure("callee", Block([If(VarExpr("mode"))]))
+        program = simple_program(
+            Assign("mode", BernoulliExpr(0.5)),
+            Call("callee"),
+            procedures=[callee],
+        )
+        assert "IR009" not in codes(verify_program(program))
+
+    def test_undefined_counter_is_warning(self):
+        program = simple_program(If(CounterBelowExpr("depth", 4)))
+        diagnostics = verify_program(program)
+        assert any(
+            diag.code == "IR010" and diag.severity == WARNING
+            for diag in diagnostics
+        )
+
+    def test_set_counter_is_fine(self):
+        program = simple_program(
+            SetCounter("depth", 0), If(CounterBelowExpr("depth", 4))
+        )
+        assert "IR010" not in codes(verify_program(program))
+
+    def test_constant_condition_and_dead_arm(self):
+        program = simple_program(
+            If(
+                ConstExpr(False),
+                then_body=Block([If(BernoulliExpr(0.5))]),
+            )
+        )
+        diagnostics = verify_program(program)
+        assert "IR011" in codes(diagnostics)
+        assert "IR012" in codes(diagnostics)
+
+
+class TestFailFast:
+    def test_or_raise_carries_structured_diagnostics(self):
+        program = simple_program(If(VarExpr("ghost")))
+        with pytest.raises(ProgramVerificationError) as excinfo:
+            verify_program_or_raise(program, name="bad")
+        assert any(
+            diag.code == "IR009" for diag in excinfo.value.diagnostics
+        )
+        assert "IR009" in str(excinfo.value)
+
+    def test_suite_verifies_before_trace_generation(self, monkeypatch):
+        from repro.workloads import suite
+
+        def build_malformed(profile):
+            return simple_program(If(VarExpr("ghost")))
+
+        monkeypatch.setattr(suite, "build_program", build_malformed)
+        suite._cached_trace.cache_clear()
+        try:
+            with pytest.raises(ProgramVerificationError):
+                suite.load_benchmark("compress", length=1234, run_seed=99)
+        finally:
+            suite._cached_trace.cache_clear()

@@ -1,0 +1,99 @@
+"""Tests for the determinism-hazard AST lint (repro.check.lint)."""
+
+from pathlib import Path
+
+import repro
+from repro.check.lint import lint_paths, lint_source
+
+
+def codes(diagnostics):
+    return [diag.code for diag in diagnostics]
+
+
+class TestUnseededRng:
+    def test_unseeded_random_random_flagged(self):
+        source = "import random\nrng = random.Random()\n"
+        assert codes(lint_source(source)) == ["DH001"]
+
+    def test_unseeded_bare_random_flagged(self):
+        source = "from random import Random\nrng = Random()\n"
+        assert codes(lint_source(source)) == ["DH001"]
+
+    def test_seeded_rng_is_clean(self):
+        source = "import random\nrng = random.Random(1234)\n"
+        assert lint_source(source) == []
+
+    def test_module_level_random_call_flagged(self):
+        source = "import random\nx = random.random()\n"
+        assert codes(lint_source(source)) == ["DH002"]
+
+    def test_module_level_shuffle_flagged(self):
+        source = "import random\nrandom.shuffle(items)\n"
+        assert codes(lint_source(source)) == ["DH002"]
+
+    def test_instance_method_call_is_clean(self):
+        source = "import random\nrng = random.Random(7)\nx = rng.random()\n"
+        assert lint_source(source) == []
+
+
+class TestFloatEquality:
+    def test_float_literal_equality_flagged(self):
+        source = "ok = accuracy == 0.97\n"
+        assert codes(lint_source(source)) == ["DH003"]
+
+    def test_float_literal_inequality_flagged(self):
+        source = "bad = rate != 1.0\n"
+        assert codes(lint_source(source)) == ["DH003"]
+
+    def test_float_ordering_is_clean(self):
+        source = "ok = accuracy >= 0.97\n"
+        assert lint_source(source) == []
+
+    def test_int_equality_is_clean(self):
+        source = "ok = count == 3\n"
+        assert lint_source(source) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_call_flagged(self):
+        source = "for pc in set(pcs):\n    print(pc)\n"
+        assert codes(lint_source(source)) == ["DH004"]
+
+    def test_for_over_set_literal_flagged(self):
+        source = "for x in {1, 2, 3}:\n    print(x)\n"
+        assert codes(lint_source(source)) == ["DH004"]
+
+    def test_comprehension_over_set_flagged(self):
+        source = "rows = [f(x) for x in set(xs)]\n"
+        assert codes(lint_source(source)) == ["DH004"]
+
+    def test_sorted_set_is_clean(self):
+        source = "for pc in sorted(set(pcs)):\n    print(pc)\n"
+        assert lint_source(source) == []
+
+    def test_list_iteration_is_clean(self):
+        source = "for x in [1, 2]:\n    print(x)\n"
+        assert lint_source(source) == []
+
+
+class TestSuppression:
+    def test_ignore_marker_suppresses_finding(self):
+        source = "import random\nrng = random.Random()  # check: ignore\n"
+        assert lint_source(source) == []
+
+
+class TestSyntaxError:
+    def test_unparseable_source_reports_dh000(self):
+        assert codes(lint_source("def broken(:\n")) == ["DH000"]
+
+
+class TestRepoIsClean:
+    def test_package_source_has_no_hazards(self):
+        package_root = Path(repro.__file__).parent
+        diagnostics = lint_paths([package_root])
+        assert diagnostics == [], "\n".join(str(d) for d in diagnostics)
+
+    def test_lint_paths_accepts_single_file(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert codes(lint_paths([bad])) == ["DH002"]

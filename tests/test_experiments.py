@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis.config import LabConfig
 from repro.analysis.runner import Lab
 from repro.experiments.base import (
     EXPERIMENT_IDS,

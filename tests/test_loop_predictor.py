@@ -1,6 +1,5 @@
 """Tests for the section-4.1.1 loop predictor."""
 
-import pytest
 
 from repro.predictors.loop import MAX_TRIP_COUNT, LoopPredictor
 

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.correlation.selection import SelectionConfig
-from repro.correlation.tagging import collect_correlation_data
 from repro.predictors.base import simulate
 from repro.predictors.selective import SelectiveHistoryPredictor
 from repro.predictors.twolevel import GsharePredictor

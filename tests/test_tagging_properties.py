@@ -10,7 +10,6 @@ from typing import Dict
 
 from hypothesis import given, settings, strategies as st
 
-import pytest
 
 from repro.correlation.selection import (
     SelectionConfig,

@@ -1,7 +1,6 @@
 """Tests for the GAg/PAg taxonomy points."""
 
 import numpy as np
-import pytest
 
 from repro.predictors.base import simulate
 from repro.predictors.twolevel import (

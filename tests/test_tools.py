@@ -16,12 +16,24 @@ class TestParsePredictorSpec:
         assert predictor.name == "gshare-10h-12p"
 
     def test_unknown_name(self):
-        with pytest.raises(ValueError, match="unknown predictor"):
+        with pytest.raises(SystemExit, match="unknown predictor 'tage' in spec 'tage'"):
             parse_predictor_spec("tage")
 
     def test_malformed_argument(self):
-        with pytest.raises(ValueError, match="malformed"):
+        with pytest.raises(
+            SystemExit, match="malformed predictor argument 'history_bits'"
+        ):
             parse_predictor_spec("gshare:history_bits")
+
+    def test_non_integer_argument(self):
+        with pytest.raises(SystemExit, match="is not an integer"):
+            parse_predictor_spec("gshare:history_bits=ten")
+
+    def test_unknown_keyword_argument(self):
+        with pytest.raises(
+            SystemExit, match="bad arguments for predictor 'gshare'"
+        ):
+            parse_predictor_spec("gshare:nonsense=3")
 
     def test_every_registry_entry_constructs(self):
         for name in PREDICTOR_REGISTRY:
@@ -68,9 +80,9 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "loop" in out and "bimodal-8b" in out
 
-    def test_simulate_bad_predictor_exits_2(self, trace_file, capsys):
-        assert main(["simulate", str(trace_file), "--predictor", "nope"]) == 2
-        assert "unknown predictor" in capsys.readouterr().err
+    def test_simulate_bad_predictor_raises_system_exit(self, trace_file):
+        with pytest.raises(SystemExit, match="unknown predictor 'nope'"):
+            main(["simulate", str(trace_file), "--predictor", "nope"])
 
     def test_interference(self, trace_file, capsys):
         assert (

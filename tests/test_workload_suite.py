@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.predictors.static_ import IdealStaticPredictor
 from repro.trace.stats import compute_statistics
 from repro.workloads.generator import BenchmarkProfile, build_program
 from repro.workloads.program import execute_program
