@@ -9,11 +9,17 @@ reproduced artefacts on disk.
 Trace scale is controlled by ``REPRO_BENCH_LENGTH`` (dynamic branches of
 the longest benchmark; default 20000 keeps the whole harness under a few
 minutes of pure Python).
+
+Every run also writes ``benchmarks/results/BENCH_timings.json`` -- the
+per-test wall-clock timings plus run metadata -- so CI can archive a
+timing artefact per commit and regressions show up as a diffable number.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -49,3 +55,34 @@ def results_dir() -> Path:
 
 def save_result(results_dir: Path, experiment_id: str, text: str) -> None:
     (results_dir / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+# -- timing artefact --------------------------------------------------------
+
+_TIMINGS = {}
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _TIMINGS[report.nodeid] = {
+            "seconds": round(report.duration, 3),
+            "outcome": report.outcome,
+        }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TIMINGS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "bench_length": bench_max_length(),
+        "python": platform.python_version(),
+        "exit_status": int(exitstatus),
+        "total_seconds": round(
+            sum(entry["seconds"] for entry in _TIMINGS.values()), 3
+        ),
+        "tests": dict(sorted(_TIMINGS.items())),
+    }
+    (RESULTS_DIR / "BENCH_timings.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

@@ -12,6 +12,11 @@
   accounting (the Talcott/Young effect of section 2.2).
 * :mod:`~repro.analysis.cost` -- the analytical pipeline model turning
   accuracy into CPI (the paper's motivation).
+* :mod:`~repro.analysis.cache` -- the content-addressed on-disk result
+  cache (bitmaps, correlation data, generated traces).
+* :mod:`~repro.analysis.parallel` -- the multi-process scheduler that
+  fans ``(benchmark, task)`` jobs over workers and folds results back
+  into the labs.
 """
 
 from repro.analysis.accuracy import (
@@ -19,6 +24,7 @@ from repro.analysis.accuracy import (
     dynamic_weighted_fraction,
     misprediction_reduction,
 )
+from repro.analysis.cache import CacheStats, ResultCache, result_key
 from repro.analysis.config import LabConfig
 from repro.analysis.cost import PipelineModel
 from repro.analysis.interference import (
@@ -30,16 +36,22 @@ from repro.analysis.offenders import (
     render_offenders,
     top_offenders,
 )
+from repro.analysis.parallel import default_jobs, prime_labs
 from repro.analysis.percentile import percentile_difference_curve
 from repro.analysis.runner import Lab
 from repro.analysis.warmup import WarmupCurve, warmup_curve
 
 __all__ = [
     "BranchOffender",
+    "CacheStats",
     "InterferenceReport",
     "Lab",
     "LabConfig",
     "PipelineModel",
+    "ResultCache",
+    "default_jobs",
+    "prime_labs",
+    "result_key",
     "accuracy_by_branch",
     "dynamic_weighted_fraction",
     "measure_gshare_interference",

@@ -1,0 +1,396 @@
+"""Content-addressed on-disk result cache.
+
+Every expensive artefact the analysis layer produces -- per-branch
+correctness bitmaps, the tagged-correlation collection, generated
+benchmark traces -- is a pure function of its inputs.  This module keys
+each artefact by a digest of exactly those inputs:
+
+* **bitmaps** by ``(trace digest, result key, schema version)``, where
+  the result key names the predictor task and its configuration;
+* **correlation data** by ``(trace digest, collection window, schema
+  version)``;
+* **generated traces** by ``(benchmark name, length, run seed, workload
+  schema, schema version)``.
+
+Entries live under ``.repro-cache/`` (override with the
+:data:`ENV_CACHE_DIR` environment variable or ``--cache-dir``) as
+compressed ``.npz`` files, sharded by the first byte of the key digest.
+Writes are atomic (temp file + ``os.replace``) so concurrent workers can
+share one cache directory; any load failure -- missing file, truncation,
+schema drift -- counts as a miss and never propagates.
+
+Invalidation is purely structural: bump :data:`SCHEMA_VERSION` when the
+serialised layout or any simulation semantics change, and
+:data:`WORKLOAD_SCHEMA` when the workload generator's output changes for
+an unchanged ``(name, length, seed)``.  Either bump changes every key,
+so stale entries are simply never addressed again (``repro cache clear``
+reclaims the disk).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from array import array
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.correlation.tagging import BranchCorrelationData, CorrelationData
+from repro.trace.trace import Trace
+
+#: Bump when the on-disk layout or any cached result's semantics change.
+SCHEMA_VERSION = 1
+
+#: Bump when the workload generator changes what an unchanged
+#: ``(name, length, run_seed)`` triple produces.
+WORKLOAD_SCHEMA = 1
+
+#: Environment variable overriding the cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+def result_key(task: str, config: object) -> str:
+    """Canonical cache-key string for a Lab task under a configuration.
+
+    Uses the frozen LabConfig's repr, which enumerates every sizing
+    field deterministically.  Deliberately conservative: changing *any*
+    config field re-keys every task's bitmap.
+    """
+    return f"{task}|{config!r}"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return Path(override)
+    return Path(DEFAULT_CACHE_DIRNAME)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writes += other.writes
+        self.errors += other.errors
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.writes} writes, {self.errors} errors"
+        )
+
+
+class ResultCache:
+    """Content-addressed store for bitmaps, correlation data and traces.
+
+    Args:
+        root: Cache directory; defaults to :func:`default_cache_dir`.
+            Created lazily on first write.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # -- keying ------------------------------------------------------------
+
+    @staticmethod
+    def _digest(*parts: str) -> str:
+        h = hashlib.blake2b(digest_size=16)
+        for part in parts:
+            h.update(part.encode())
+            h.update(b"\x00")
+        return h.hexdigest()
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.npz"
+
+    def _load(self, path: Path) -> Optional[dict]:
+        """Load an npz entry; any failure is a recorded miss."""
+        try:
+            with np.load(path) as payload:
+                return {name: payload[name] for name in payload.files}
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Truncated/corrupted/foreign file: treat as a miss so the
+            # caller recomputes (and overwrites the bad entry).
+            self.stats.misses += 1
+            self.stats.errors += 1
+            return None
+
+    def _store(self, path: Path, **arrays: np.ndarray) -> None:
+        """Atomically write an npz entry (temp file + rename)."""
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez_compressed(fh, **arrays)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self.stats.writes += 1
+        except OSError:
+            # A read-only or full disk must never fail the computation.
+            self.stats.errors += 1
+
+    # -- correctness bitmaps ----------------------------------------------
+
+    def bitmap_key(self, trace_digest: str, result_key: str) -> str:
+        return self._digest("bitmap", str(SCHEMA_VERSION), trace_digest, result_key)
+
+    def load_bitmap(
+        self, trace_digest: str, result_key: str
+    ) -> Optional[np.ndarray]:
+        """A cached correctness bitmap, or None on miss."""
+        payload = self._load(
+            self._path("bitmap", self.bitmap_key(trace_digest, result_key))
+        )
+        if payload is None:
+            return None
+        try:
+            length = int(payload["length"])
+            bitmap = np.unpackbits(payload["packed"], count=length).astype(bool)
+        except Exception:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return bitmap
+
+    def store_bitmap(
+        self, trace_digest: str, result_key: str, bitmap: np.ndarray
+    ) -> None:
+        self._store(
+            self._path("bitmap", self.bitmap_key(trace_digest, result_key)),
+            packed=np.packbits(np.asarray(bitmap, dtype=bool)),
+            length=np.int64(len(bitmap)),
+        )
+
+    # -- correlation data --------------------------------------------------
+
+    def correlation_key(self, trace_digest: str, window: int) -> str:
+        return self._digest(
+            "corr", str(SCHEMA_VERSION), trace_digest, f"window={window}"
+        )
+
+    def load_correlation(
+        self, trace_digest: str, window: int
+    ) -> Optional[CorrelationData]:
+        """Cached tagged-correlation observations, or None on miss."""
+        payload = self._load(
+            self._path("corr", self.correlation_key(trace_digest, window))
+        )
+        if payload is None:
+            return None
+        try:
+            data = _correlation_from_arrays(payload)
+        except Exception:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return data
+
+    def store_correlation(self, trace_digest: str, data: CorrelationData) -> None:
+        self._store(
+            self._path("corr", self.correlation_key(trace_digest, data.window)),
+            **_correlation_to_arrays(data),
+        )
+
+    # -- generated benchmark traces ---------------------------------------
+
+    def trace_key(self, name: str, length: Optional[int], run_seed: int) -> str:
+        return self._digest(
+            "trace",
+            str(SCHEMA_VERSION),
+            str(WORKLOAD_SCHEMA),
+            name,
+            str(length),
+            str(run_seed),
+        )
+
+    def load_trace(
+        self, name: str, length: Optional[int], run_seed: int
+    ) -> Optional[Trace]:
+        """A cached generated benchmark trace, or None on miss."""
+        payload = self._load(
+            self._path("trace", self.trace_key(name, length, run_seed))
+        )
+        if payload is None:
+            return None
+        try:
+            count = int(payload["length"])
+            trace = Trace(
+                payload["pc"],
+                payload["target"],
+                np.unpackbits(payload["taken"], count=count).astype(bool),
+            )
+        except Exception:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return trace
+
+    def store_trace(
+        self, name: str, length: Optional[int], run_seed: int, trace: Trace
+    ) -> None:
+        self._store(
+            self._path("trace", self.trace_key(name, length, run_seed)),
+            pc=trace.pc,
+            target=trace.target,
+            taken=np.packbits(trace.taken),
+            length=np.int64(len(trace)),
+        )
+
+    # -- maintenance -------------------------------------------------------
+
+    def _entries(self):
+        if not self.root.is_dir():
+            return
+        for kind_dir in sorted(self.root.iterdir()):
+            if kind_dir.is_dir():
+                yield from sorted(kind_dir.glob("*/*.npz"))
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def total_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self._entries())
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                self.stats.errors += 1
+        return removed
+
+
+# -- correlation (de)serialisation ----------------------------------------
+#
+# CorrelationData is a two-level dict of numpy arrays and array('q')
+# buffers.  It flattens into ten global arrays -- offsets delimit the
+# per-branch and per-tag slices -- so the whole structure round-trips
+# through one npz file with no pickling.
+
+
+def _correlation_to_arrays(data: CorrelationData) -> dict:
+    pcs = []
+    branch_offsets = [0]
+    inst_indices = []
+    inst_outcomes = []
+    tag_branch = []
+    tag_scheme = []
+    tag_pc = []
+    tag_instance = []
+    tag_offsets = [0]
+    tag_values = []
+    for branch_index, (pc, branch) in enumerate(sorted(data.branches.items())):
+        pcs.append(pc)
+        inst_indices.append(branch.trace_indices)
+        inst_outcomes.append(branch.outcomes)
+        branch_offsets.append(branch_offsets[-1] + len(branch.trace_indices))
+        for (scheme, tagged_pc, instance), entries in branch.tag_entries.items():
+            tag_branch.append(branch_index)
+            tag_scheme.append(scheme)
+            tag_pc.append(tagged_pc)
+            tag_instance.append(instance)
+            tag_offsets.append(tag_offsets[-1] + len(entries))
+            tag_values.append(np.frombuffer(entries, dtype=np.int64))
+    outcomes = (
+        np.concatenate(inst_outcomes)
+        if inst_outcomes
+        else np.zeros(0, dtype=bool)
+    )
+    return dict(
+        window=np.int64(data.window),
+        trace_length=np.int64(data.trace_length),
+        pcs=np.asarray(pcs, dtype=np.uint64),
+        branch_offsets=np.asarray(branch_offsets, dtype=np.int64),
+        inst_indices=(
+            np.concatenate(inst_indices)
+            if inst_indices
+            else np.zeros(0, dtype=np.int64)
+        ),
+        inst_outcomes=np.packbits(outcomes),
+        tag_branch=np.asarray(tag_branch, dtype=np.int64),
+        tag_scheme=np.asarray(tag_scheme, dtype=np.int64),
+        tag_pc=np.asarray(tag_pc, dtype=np.uint64),
+        tag_instance=np.asarray(tag_instance, dtype=np.int64),
+        tag_offsets=np.asarray(tag_offsets, dtype=np.int64),
+        tag_values=(
+            np.concatenate(tag_values)
+            if tag_values
+            else np.zeros(0, dtype=np.int64)
+        ),
+    )
+
+
+def _correlation_from_arrays(payload: dict) -> CorrelationData:
+    pcs = payload["pcs"]
+    branch_offsets = payload["branch_offsets"]
+    inst_indices = payload["inst_indices"]
+    total = int(branch_offsets[-1]) if len(branch_offsets) else 0
+    outcomes = np.unpackbits(payload["inst_outcomes"], count=total).astype(bool)
+    branches = {}
+    branch_list = []
+    for i in range(len(pcs)):
+        start, end = int(branch_offsets[i]), int(branch_offsets[i + 1])
+        branch = BranchCorrelationData(
+            pc=int(pcs[i]),
+            trace_indices=inst_indices[start:end].copy(),
+            outcomes=outcomes[start:end].copy(),
+            tag_entries={},
+        )
+        branches[branch.pc] = branch
+        branch_list.append(branch)
+    tag_offsets = payload["tag_offsets"]
+    tag_values = payload["tag_values"]
+    tag_branch = payload["tag_branch"]
+    tag_scheme = payload["tag_scheme"]
+    tag_pc = payload["tag_pc"]
+    tag_instance = payload["tag_instance"]
+    for t in range(len(tag_branch)):
+        entries = array("q")
+        entries.frombytes(
+            tag_values[int(tag_offsets[t]) : int(tag_offsets[t + 1])]
+            .astype(np.int64)
+            .tobytes()
+        )
+        branch_list[int(tag_branch[t])].tag_entries[
+            (int(tag_scheme[t]), int(tag_pc[t]), int(tag_instance[t]))
+        ] = entries
+    return CorrelationData(
+        window=int(payload["window"]),
+        trace_length=int(payload["trace_length"]),
+        branches=branches,
+    )

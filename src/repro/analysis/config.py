@@ -25,6 +25,7 @@ defaults the experiments use.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.correlation.selection import SelectionConfig
 from repro.predictors.base import BranchPredictor
@@ -91,7 +92,7 @@ class LabConfig:
     def ideal_static(self) -> BranchPredictor:
         return IdealStaticPredictor()
 
-    def selection_config(self, window: int = None) -> SelectionConfig:
+    def selection_config(self, window: Optional[int] = None) -> SelectionConfig:
         return SelectionConfig(
             window=self.selective_window if window is None else window,
             top_k=self.selective_top_k,

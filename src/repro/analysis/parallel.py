@@ -1,0 +1,229 @@
+"""Parallel simulation scheduler.
+
+A full report simulates seven predictors plus the best-of-32 fixed
+pattern sweep and the tagged-correlation collection over eight benchmark
+traces -- 72 independent ``(benchmark, task)`` jobs with no shared
+state.  This module fans them over a :class:`~concurrent.futures.\
+ProcessPoolExecutor` and folds the results back into each
+:class:`~repro.analysis.runner.Lab`'s memo dict, so downstream
+experiments see exactly the state a serial run would have produced.
+
+Determinism: every job is a pure function of ``(benchmark name, length,
+run seed, config, task)``; workers regenerate the trace from those
+inputs (a per-process LRU plus the shared disk cache make this cheap)
+and the parent verifies the returned trace digest before folding, so
+completion order and worker scheduling cannot change any result.
+
+Worker count comes from ``--jobs``, the :data:`ENV_JOBS` environment
+variable, or ``os.cpu_count()``; ``jobs <= 1`` short-circuits to the
+plain in-process path with no executor, no pickling and no subprocesses.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis.cache import ResultCache, result_key
+from repro.analysis.config import LabConfig
+from repro.analysis.runner import Lab
+from repro.correlation.tagging import collect_correlation_data
+from repro.predictors.pattern import best_fixed_length_correct
+
+#: Environment variable overriding the worker count.
+ENV_JOBS = "REPRO_JOBS"
+
+#: Pseudo-task name for the tagged-correlation collection.
+CORRELATION_TASK = "correlation"
+
+#: Tasks a full report needs, in deterministic fold order.
+DEFAULT_TASKS: Tuple[str, ...] = (
+    "gshare",
+    "if_gshare",
+    "pas",
+    "if_pas",
+    "loop",
+    "block",
+    "ideal_static",
+    "fixed_best",
+    CORRELATION_TASK,
+)
+
+#: Map task name -> LabConfig factory attribute (mirrors Lab._factories).
+_FACTORY_ATTRS: Dict[str, str] = {
+    "gshare": "gshare",
+    "if_gshare": "if_gshare",
+    "pas": "pas",
+    "if_pas": "if_pas",
+    "loop": "loop",
+    "block": "block_pattern",
+    "ideal_static": "ideal_static",
+}
+
+
+def default_jobs() -> int:
+    """Worker count: ``$REPRO_JOBS`` if set and valid, else CPU count."""
+    override = os.environ.get(ENV_JOBS)
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value (None -> environment/CPU default)."""
+    if jobs is None:
+        return default_jobs()
+    return max(1, int(jobs))
+
+
+def _run_task(job: tuple):
+    """Execute one ``(benchmark, task)`` job in a worker process.
+
+    Module-level so it pickles; regenerates the trace from the job spec
+    (per-process LRU in ``load_benchmark`` plus the shared disk cache
+    keep this a one-time cost per worker per benchmark).
+    """
+    name, length, run_seed, config, task, cache_root, collection_window = job
+    from repro.workloads.suite import load_benchmark
+
+    cache = ResultCache(cache_root) if cache_root is not None else None
+    trace = cache.load_trace(name, length, run_seed) if cache else None
+    if trace is None:
+        trace = load_benchmark(name, length, run_seed)
+        if cache is not None:
+            cache.store_trace(name, length, run_seed, trace)
+    digest = trace.digest()
+    if task == CORRELATION_TASK:
+        result = collect_correlation_data(trace, window=collection_window)
+        if cache is not None:
+            cache.store_correlation(digest, result)
+    elif task == "fixed_best":
+        result = best_fixed_length_correct(trace)
+        if cache is not None:
+            cache.store_bitmap(digest, result_key(task, config), result)
+    else:
+        factory = getattr(config, _FACTORY_ATTRS[task])
+        result = factory().simulate(trace)
+        if cache is not None:
+            cache.store_bitmap(digest, result_key(task, config), result)
+    return name, task, digest, result
+
+
+def prime_labs(
+    labs: Dict[str, Lab],
+    run_seed: int = 12345,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    tasks: Sequence[str] = DEFAULT_TASKS,
+) -> int:
+    """Populate every lab's memos for ``tasks``, in parallel.
+
+    Cached results are folded in directly; only misses are scheduled.
+    After this returns, ``lab.correct(task)`` / ``lab.correlation_data()``
+    are pure memo lookups for every requested task.
+
+    Args:
+        labs: Benchmark name -> Lab, as built by ``build_labs``.  The
+            benchmark name must regenerate the lab's trace (standard
+            suite labs; ad-hoc labs should skip priming).
+        run_seed: The seed the labs' traces were generated with.
+        jobs: Worker processes (None -> :func:`default_jobs`).
+        cache: Shared result cache; workers write through to it.
+        tasks: Task names to prime (subset of :data:`DEFAULT_TASKS`).
+
+    Returns:
+        The number of jobs executed (0 means everything was cached).
+    """
+    jobs = resolve_jobs(jobs)
+    pending = []
+    for name in sorted(labs):
+        lab = labs[name]
+        if cache is not None and lab.cache is None:
+            lab.cache = cache
+        for task in tasks:
+            if lab.is_primed(task) or _fold_cached(lab, task):
+                continue
+            pending.append((name, task))
+
+    if not pending:
+        return 0
+
+    if jobs <= 1:
+        # Serial path: compute in place; Lab handles memo + disk cache.
+        for name, task in pending:
+            _prime_serial(labs[name], task)
+        return len(pending)
+
+    cache_root = str(cache.root) if cache is not None else None
+    job_specs = {
+        (name, task): (
+            name,
+            len(labs[name].trace),
+            run_seed,
+            labs[name].config,
+            task,
+            cache_root,
+            labs[name].config.collection_window,
+        )
+        for name, task in pending
+    }
+    results = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(_run_task, spec): key for key, spec in job_specs.items()
+        }
+        for future in as_completed(futures):
+            name, task, digest, result = future.result()
+            results[(name, task)] = (digest, result)
+
+    # Fold in deterministic (sorted-name, task-order) order, verifying
+    # the worker simulated the same trace the lab holds.
+    executed = 0
+    for name, task in pending:
+        digest, result = results[(name, task)]
+        lab = labs[name]
+        if digest != lab.trace.digest():
+            # Worker regenerated a different trace (ad-hoc lab): discard
+            # and let the lab compute lazily.
+            continue
+        # Workers already wrote the shared cache; skip the second write.
+        write_through = cache is None
+        if task == CORRELATION_TASK:
+            lab.store_correlation(result, write_through=write_through)
+        else:
+            lab.store_correct(task, result, write_through=write_through)
+        executed += 1
+    return executed
+
+
+def _fold_cached(lab: Lab, task: str) -> bool:
+    """Fold a disk-cached result into the lab's memo; True on a hit."""
+    if lab.cache is None:
+        return False
+    if task == CORRELATION_TASK:
+        data = lab.cache.load_correlation(
+            lab.trace.digest(), lab.config.collection_window
+        )
+        if data is None:
+            return False
+        lab.store_correlation(data, write_through=False)
+        return True
+    bitmap = lab.cache.load_bitmap(
+        lab.trace.digest(), result_key(task, lab.config)
+    )
+    if bitmap is None:
+        return False
+    lab.store_correct(task, bitmap, write_through=False)
+    return True
+
+
+def _prime_serial(lab: Lab, task: str) -> None:
+    if task == CORRELATION_TASK:
+        lab.correlation_data()
+    else:
+        lab.correct(task)

@@ -6,6 +6,10 @@ correlation collection feeds figures 4, 5, 8 and table 2).  A
 :class:`Lab` wraps one trace and memoises every predictor's per-branch
 correctness bitmap plus the correlation data, so a full experiment run
 simulates each predictor exactly once.
+
+When an on-disk :class:`~repro.analysis.cache.ResultCache` is attached,
+each lookup goes memo -> disk cache -> compute (storing back to both),
+so a repeated run over unchanged traces performs no simulation at all.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.cache import ResultCache, result_key
 from repro.analysis.config import DEFAULT_CONFIG, LabConfig
 from repro.correlation.selection import Selection, select_for_trace
 from repro.correlation.tagging import CorrelationData, collect_correlation_data
@@ -31,11 +36,19 @@ class Lab:
         trace: The branch trace under analysis.
         config: Predictor sizing (defaults to the paper-scaled
             :data:`~repro.analysis.config.DEFAULT_CONFIG`).
+        cache: Optional on-disk result cache consulted before simulating
+            and written through after.
     """
 
-    def __init__(self, trace: Trace, config: LabConfig = DEFAULT_CONFIG) -> None:
+    def __init__(
+        self,
+        trace: Trace,
+        config: LabConfig = DEFAULT_CONFIG,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
         self.trace = trace
         self.config = config
+        self.cache = cache
         self._correct: Dict[str, np.ndarray] = {}
         self._correlation_data: Optional[CorrelationData] = None
         self._selections: Dict[Tuple[int, int], Dict[int, Selection]] = {}
@@ -63,22 +76,67 @@ class Lab:
         """Names accepted by :meth:`correct` / :meth:`accuracy`."""
         return tuple(self._factories) + ("fixed_best",)
 
+    def is_primed(self, task: str) -> bool:
+        """Whether a task's result is already memoised in this lab."""
+        if task == "correlation":
+            return self._correlation_data is not None
+        return task in self._correct
+
+    def store_correct(
+        self, name: str, bitmap: np.ndarray, write_through: bool = True
+    ) -> None:
+        """Fold an externally-computed correctness bitmap into the memo.
+
+        Used by the parallel scheduler; with ``write_through`` (the
+        default) the bitmap also lands in the disk cache so the next
+        cold process skips the simulation too.  Workers that already
+        wrote the shared cache pass ``write_through=False``.
+        """
+        if len(bitmap) != len(self.trace):
+            raise ValueError(
+                f"bitmap length {len(bitmap)} != trace length {len(self.trace)}"
+            )
+        self._correct[name] = bitmap
+        if write_through and self.cache is not None:
+            self.cache.store_bitmap(
+                self.trace.digest(), result_key(name, self.config), bitmap
+            )
+
+    def store_correlation(
+        self, data: CorrelationData, write_through: bool = True
+    ) -> None:
+        """Fold externally-collected correlation data into the memo."""
+        self._correlation_data = data
+        if write_through and self.cache is not None:
+            self.cache.store_correlation(self.trace.digest(), data)
+
+    def _cached_bitmap(self, name: str) -> Optional[np.ndarray]:
+        if self.cache is None:
+            return None
+        return self.cache.load_bitmap(
+            self.trace.digest(), result_key(name, self.config)
+        )
+
     def correct(self, name: str) -> np.ndarray:
         """Correctness bitmap of a named predictor (simulated once)."""
         cached = self._correct.get(name)
         if cached is not None:
             return cached
-        if name == "fixed_best":
-            bitmap = best_fixed_length_correct(self.trace)
-        else:
-            try:
-                factory = self._factories[name]
-            except KeyError:
-                raise KeyError(
-                    f"unknown predictor {name!r}; choose from "
-                    f"{self.available_predictors()}"
-                ) from None
-            bitmap = factory().simulate(self.trace)
+        if name != "fixed_best" and name not in self._factories:
+            raise KeyError(
+                f"unknown predictor {name!r}; choose from "
+                f"{self.available_predictors()}"
+            )
+        bitmap = self._cached_bitmap(name)
+        if bitmap is None:
+            if name == "fixed_best":
+                bitmap = best_fixed_length_correct(self.trace)
+            else:
+                bitmap = self._factories[name]().simulate(self.trace)
+            if self.cache is not None:
+                self.cache.store_bitmap(
+                    self.trace.digest(), result_key(name, self.config), bitmap
+                )
         self._correct[name] = bitmap
         return bitmap
 
@@ -93,12 +151,23 @@ class Lab:
     def correlation_data(self) -> CorrelationData:
         """Tagged-correlation observations (collected once at window 32)."""
         if self._correlation_data is None:
-            self._correlation_data = collect_correlation_data(
-                self.trace, window=self.config.collection_window
-            )
+            data = None
+            if self.cache is not None:
+                data = self.cache.load_correlation(
+                    self.trace.digest(), self.config.collection_window
+                )
+            if data is None:
+                data = collect_correlation_data(
+                    self.trace, window=self.config.collection_window
+                )
+                if self.cache is not None:
+                    self.cache.store_correlation(self.trace.digest(), data)
+            self._correlation_data = data
         return self._correlation_data
 
-    def selections(self, count: int, window: int = None) -> Dict[int, Selection]:
+    def selections(
+        self, count: int, window: Optional[int] = None
+    ) -> Dict[int, Selection]:
         """Oracle selections for a selective history of ``count`` branches."""
         if window is None:
             window = self.config.selective_window
@@ -113,12 +182,16 @@ class Lab:
             self._selections[key] = cached
         return cached
 
-    def selective_correct(self, count: int, window: int = None) -> np.ndarray:
+    def selective_correct(
+        self, count: int, window: Optional[int] = None
+    ) -> np.ndarray:
         """Correctness bitmap of the selective-history predictor."""
         if window is None:
             window = self.config.selective_window
         name = f"selective_{count}_{window}"
         cached = self._correct.get(name)
+        if cached is None:
+            cached = self._cached_bitmap(name)
         if cached is None:
             predictor = SelectiveHistoryPredictor(
                 count, self.config.selection_config(window)
@@ -129,10 +202,14 @@ class Lab:
                 selections=self.selections(count, window),
             )
             cached = predictor.simulate(self.trace)
-            self._correct[name] = cached
+            if self.cache is not None:
+                self.cache.store_bitmap(
+                    self.trace.digest(), result_key(name, self.config), cached
+                )
+        self._correct[name] = cached
         return cached
 
-    def selective_accuracy(self, count: int, window: int = None) -> float:
+    def selective_accuracy(self, count: int, window: Optional[int] = None) -> float:
         if not len(self.trace):
             return 0.0
         return float(self.selective_correct(count, window).mean())

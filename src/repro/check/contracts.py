@@ -24,7 +24,8 @@ every downstream table.  Two layers of enforcement:
 Diagnostic codes: PC001 abstract residue, PC002 placeholder name, PC003
 duplicate class name, PC004 registry entry broken, PC005 duplicate
 registry instance name, PC006 ``predict`` mutated state, PC007
-predict/update interleaving violation, PC008 nondeterministic replay.
+predict/update interleaving violation, PC008 nondeterministic replay,
+PC009 ``simulate()`` fast path diverges from the generic replay.
 """
 
 from __future__ import annotations
@@ -340,8 +341,9 @@ def run_contract_suite(
     probe = factory()
     location = label or probe.name
     wrapped = ContractCheckedPredictor(_prepare(probe, trace))
+    reference = None
     try:
-        generic_simulate(wrapped, trace)
+        reference = generic_simulate(wrapped, trace)
         wrapped.finish()
     except ContractViolation as violation:
         code = "PC006" if "mutated" in str(violation) else "PC007"
@@ -354,4 +356,20 @@ def run_contract_suite(
         diagnostics.append(Diagnostic(
             code="PC008", severity=ERROR, message=fault, location=location,
         ))
+    if reference is not None:
+        # A predictor overriding simulate() (vectorised kernels, scalar
+        # fast paths) must be bit-identical to the contract-checked
+        # generic predict-then-update replay above.
+        fast = _prepare(factory(), trace).simulate(trace)
+        if not np.array_equal(fast, reference):
+            disagreements = int(np.sum(fast != reference))
+            diagnostics.append(Diagnostic(
+                code="PC009", severity=ERROR,
+                message=(
+                    f"simulate() fast path disagrees with the generic "
+                    f"predict/update replay on {disagreements} of "
+                    f"{len(trace)} predictions"
+                ),
+                location=location,
+            ))
     return diagnostics

@@ -1,11 +1,16 @@
-"""Command-line interface: ``repro [experiment ids | all]``.
+"""Command-line interface: ``repro [experiment ids | all | report]``.
 
 Examples::
 
     repro table2                 # one experiment
     repro fig4 fig5              # several
     repro all                    # the whole suite, paper order
+    repro report                 # same as 'all' (parallel + cached)
     repro all --max-length 50000 # smaller traces, faster
+    repro all --jobs 4           # explicit worker count
+    repro all --no-cache         # force recomputation
+    repro cache stats            # inspect the result cache
+    repro cache clear            # reclaim the cache directory
     python -m repro all          # equivalent module form
     python -m repro check        # static verification (repro.check)
 """
@@ -40,7 +45,8 @@ def _parser() -> argparse.ArgumentParser:
         help=(
             f"experiment ids ({', '.join(EXPERIMENT_IDS)}), extension ids "
             f"({', '.join(EXTENSION_IDS)}), 'all' (paper artefacts), "
-            "'extensions', or 'check' (static verification)"
+            "'report' (alias for all), 'extensions', 'cache' "
+            "(stats|clear), or 'check' (static verification)"
         ),
     )
     parser.add_argument(
@@ -71,7 +77,59 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         help="override the reference gshare history length",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "simulation worker processes (default: REPRO_JOBS or the "
+            "CPU count; 1 disables multiprocessing)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
+    )
     return parser
+
+
+def _cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or clear the on-disk result cache.",
+    )
+    parser.add_argument("action", choices=("stats", "clear"))
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
+    )
+    return parser
+
+
+def _cache_main(argv: List[str]) -> int:
+    from repro.analysis.cache import ResultCache
+
+    args = _cache_parser().parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        count = cache.entry_count()
+        size = cache.total_bytes()
+        print(f"cache directory: {cache.root}")
+        print(f"entries: {count}")
+        print(f"size: {size / 1e6:.2f} MB")
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -84,10 +142,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.check.cli import main as check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     args = _parser().parse_args(argv)
     requested: List[str] = []
     for item in args.experiments:
-        if item == "all":
+        if item in ("all", "report"):
             requested.extend(EXPERIMENT_IDS)
         elif item == "extensions":
             requested.extend(EXTENSION_IDS)
@@ -96,8 +156,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(
                 f"error: unknown experiment {item!r}; choose from "
-                f"{', '.join(EXPERIMENT_IDS + EXTENSION_IDS)}, 'all' or "
-                "'extensions'",
+                f"{', '.join(EXPERIMENT_IDS + EXTENSION_IDS)}, 'all', "
+                "'report' or 'extensions'",
                 file=sys.stderr,
             )
             return 2
@@ -109,11 +169,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             gshare_pht_bits=args.gshare_history,
         )
 
+    from repro.analysis.cache import ResultCache
+    from repro.analysis.parallel import resolve_jobs
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    jobs = resolve_jobs(args.jobs)
+
     start = time.time()
     print("building workload traces...", flush=True)
-    labs = build_labs(args.max_length, config, args.seed)
+    labs = build_labs(args.max_length, config, args.seed, jobs=jobs, cache=cache)
     total = sum(len(lab.trace) for lab in labs.values())
-    print(f"  {len(labs)} benchmarks, {total} dynamic branches\n", flush=True)
+    print(f"  {len(labs)} benchmarks, {total} dynamic branches", flush=True)
+    if cache is not None:
+        print(f"  cache: {cache.root} ({cache.stats.summary()})", flush=True)
+    print(f"  jobs: {jobs}\n", flush=True)
 
     results = {}
     for experiment_id in dict.fromkeys(requested):
@@ -126,6 +195,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         export_results(results, args.json)
         print(f"JSON results written to {args.json}")
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()}")
     print(f"done in {time.time() - start:.1f}s")
     return 0
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import abc
 from typing import Callable, Dict, Optional
 
+from repro.analysis.cache import ResultCache
 from repro.analysis.config import DEFAULT_CONFIG, LabConfig
 from repro.analysis.runner import Lab
 from repro.workloads.suite import BENCHMARK_NAMES, load_benchmark, scaled_length
@@ -50,6 +51,9 @@ def build_labs(
     max_length: Optional[int] = None,
     config: LabConfig = DEFAULT_CONFIG,
     run_seed: int = 12345,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, Lab]:
     """One :class:`Lab` per suite benchmark, sharing a configuration.
 
@@ -59,14 +63,25 @@ def build_labs(
             proportions.
         config: Predictor sizing.
         run_seed: Workload execution seed.
+        jobs: If set, eagerly prime every lab's standard simulations via
+            the parallel scheduler with this many workers (1 = serial
+            priming).  Default None leaves labs lazy, as before.
+        cache: Optional on-disk result cache attached to every lab.
     """
-    return {
-        name: Lab(
-            load_benchmark(name, scaled_length(name, max_length), run_seed),
-            config,
-        )
-        for name in BENCHMARK_NAMES
-    }
+    labs = {}
+    for name in BENCHMARK_NAMES:
+        length = scaled_length(name, max_length)
+        trace = cache.load_trace(name, length, run_seed) if cache else None
+        if trace is None:
+            trace = load_benchmark(name, length, run_seed)
+            if cache is not None:
+                cache.store_trace(name, length, run_seed, trace)
+        labs[name] = Lab(trace, config, cache=cache)
+    if jobs is not None:
+        from repro.analysis.parallel import prime_labs
+
+        prime_labs(labs, run_seed, jobs=jobs, cache=cache)
+    return labs
 
 
 def run_experiment(experiment_id: str, labs: Dict[str, Lab]) -> ExperimentResult:

@@ -6,8 +6,11 @@ MSB gives the prediction (Smith 81, section 2.1 of the paper).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.predictors.base import BranchPredictor
 from repro.predictors.counters import CounterTable
+from repro.trace.trace import Trace
 
 
 class BimodalPredictor(BranchPredictor):
@@ -37,3 +40,9 @@ class BimodalPredictor(BranchPredictor):
 
     def update(self, pc: int, target: int, taken: bool) -> None:
         self._table.update(self._index(pc), taken)
+
+    def simulate(self, trace: Trace) -> np.ndarray:
+        """Vectorised fast path (see :mod:`repro.sim.kernels`)."""
+        from repro.sim.kernels import simulate_bimodal
+
+        return simulate_bimodal(self, trace)

@@ -102,6 +102,20 @@ class CounterTable:
     def bits(self) -> int:
         return self._bits
 
+    @property
+    def max_value(self) -> int:
+        return self._max
+
+    @property
+    def threshold(self) -> int:
+        """Counter values at or above this predict taken (MSB set)."""
+        return self._threshold
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The backing counter array (mutable; used by the sim kernels)."""
+        return self._table
+
     def predict(self, index: int) -> bool:
         """Prediction of the counter at ``index``."""
         return bool(self._table[index] >= self._threshold)

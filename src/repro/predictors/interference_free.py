@@ -160,30 +160,7 @@ class InterferenceFreePAs(BranchPredictor):
         self._histories[pc] = ((history << 1) | int(taken)) & self._history_mask
 
     def simulate(self, trace: Trace) -> np.ndarray:
-        n = len(trace)
-        correct = np.zeros(n, dtype=bool)
-        history_mask = self._history_mask
-        counter_max = self._counter_max
-        threshold = self._threshold
-        initial = self._initial
-        histories = self._histories
-        phts = self._phts
-        pcs = trace.pc.tolist()
-        takens = trace.taken.tolist()
-        for i in range(n):
-            pc = pcs[i]
-            taken = takens[i]
-            history = histories.get(pc, 0)
-            pht = phts.get(pc)
-            if pht is None:
-                pht = {}
-                phts[pc] = pht
-            value = pht.get(history, initial)
-            correct[i] = (value >= threshold) == taken
-            if taken:
-                if value < counter_max:
-                    pht[history] = value + 1
-            elif value > 0:
-                pht[history] = value - 1
-            histories[pc] = ((history << 1) | taken) & history_mask
-        return correct
+        """Vectorised fast path (see :mod:`repro.sim.kernels`)."""
+        from repro.sim.kernels import simulate_if_pas
+
+        return simulate_if_pas(self, trace)

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.predictors.base import BranchPredictor
+from repro.trace.trace import Trace
 
 #: The paper assumes loop trip counts below 256; longer runs saturate.
 MAX_TRIP_COUNT = 255
@@ -91,6 +94,12 @@ class LoopPredictor(BranchPredictor):
             self._entries[pc] = _LoopEntry(taken)
         else:
             entry.update(taken)
+
+    def simulate(self, trace: Trace) -> np.ndarray:
+        """Run-length fast path (see :mod:`repro.sim.kernels`)."""
+        from repro.sim.kernels import simulate_loop
+
+        return simulate_loop(self, trace)
 
     def btb_size(self) -> int:
         """Number of perfect-BTB entries allocated so far."""

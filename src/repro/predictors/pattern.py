@@ -75,6 +75,12 @@ class FixedLengthPatternPredictor(BranchPredictor):
         ring[position] = taken
         self._state[pc] = (ring, (position + 1) % self._k, count + 1)
 
+    def simulate(self, trace: Trace) -> np.ndarray:
+        """Shift-compare fast path (see :mod:`repro.sim.kernels`)."""
+        from repro.sim.kernels import simulate_fixed_pattern
+
+        return simulate_fixed_pattern(self, trace)
+
 
 def fixed_length_correct(trace: Trace, k: int) -> np.ndarray:
     """Vectorised correctness bitmap of the fixed-length-``k`` predictor.
@@ -176,6 +182,12 @@ class BlockPatternPredictor(BranchPredictor):
             self._entries[pc] = _BlockEntry(taken)
         else:
             entry.update(taken)
+
+    def simulate(self, trace: Trace) -> np.ndarray:
+        """Run-length fast path (see :mod:`repro.sim.kernels`)."""
+        from repro.sim.kernels import simulate_block_pattern
+
+        return simulate_block_pattern(self, trace)
 
     def btb_size(self) -> int:
         """Number of perfect-BTB entries allocated so far."""

@@ -1,0 +1,28 @@
+"""Simulation engine: vectorised per-address kernels.
+
+Per-address predictors (interference-free PAs, the loop and pattern
+predictors, address-indexed counters) carry no cross-branch state: the
+prediction stream of one static branch depends only on that branch's own
+outcome sub-sequence.  :mod:`repro.sim.kernels` exploits this by grouping
+the trace by address once and simulating each group with numpy
+run-length and shift tricks instead of a per-dynamic-branch Python loop.
+Every kernel is bit-identical to the scalar predict/update loop; the
+``repro check`` contract pass (PC009) and the property tests in
+``tests/test_sim_kernels.py`` enforce it.
+"""
+
+from repro.sim.kernels import (
+    simulate_bimodal,
+    simulate_block_pattern,
+    simulate_fixed_pattern,
+    simulate_if_pas,
+    simulate_loop,
+)
+
+__all__ = [
+    "simulate_bimodal",
+    "simulate_block_pattern",
+    "simulate_fixed_pattern",
+    "simulate_if_pas",
+    "simulate_loop",
+]

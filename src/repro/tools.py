@@ -148,13 +148,39 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_spec(job):
+    """Worker for ``simulate --jobs``: one predictor spec on one trace file.
+
+    Module-level so it pickles; re-reads the trace in the worker rather
+    than shipping the columns through the pipe.
+    """
+    trace_path, spec = job
+    trace = _load_any(trace_path)
+    predictor = parse_predictor_spec(spec)
+    return predictor.name, predictor.accuracy(trace)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = _load_any(args.trace)
     print(f"{args.trace}: {len(trace)} dynamic branches")
-    for spec in args.predictor:
-        predictor = parse_predictor_spec(spec)
-        accuracy = predictor.accuracy(trace)
-        print(f"  {predictor.name:28s} {accuracy * 100:6.2f}%")
+    if args.jobs is not None and args.jobs > 1 and len(args.predictor) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            # map() preserves input order, so output is deterministic.
+            rows = list(
+                pool.map(
+                    _simulate_spec,
+                    [(args.trace, spec) for spec in args.predictor],
+                )
+            )
+    else:
+        rows = []
+        for spec in args.predictor:
+            predictor = parse_predictor_spec(spec)
+            rows.append((predictor.name, predictor.accuracy(trace)))
+    for name, accuracy in rows:
+        print(f"  {name:28s} {accuracy * 100:6.2f}%")
     return 0
 
 
@@ -214,6 +240,12 @@ def _parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         help="predictor spec name[:key=value,...]; repeatable",
+    )
+    simulate.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="simulate predictor specs in this many worker processes",
     )
     simulate.set_defaults(func=_cmd_simulate)
 

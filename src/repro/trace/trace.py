@@ -27,7 +27,7 @@ class Trace:
     :class:`TraceBuilder` / :meth:`Trace.from_records`.
     """
 
-    __slots__ = ("_pc", "_target", "_taken", "_pc_index_cache")
+    __slots__ = ("_pc", "_target", "_taken", "_pc_index_cache", "_digest_cache")
 
     def __init__(
         self,
@@ -47,6 +47,7 @@ class Trace:
         self._target = target_arr
         self._taken = taken_arr
         self._pc_index_cache: Union[Dict[int, np.ndarray], None] = None
+        self._digest_cache: Union[str, None] = None
         for col in (self._pc, self._target, self._taken):
             col.setflags(write=False)
 
@@ -122,6 +123,24 @@ class Trace:
             f"Trace(len={len(self)}, static={self.num_static_branches()}, "
             f"taken_rate={self.taken_rate():.3f})"
         )
+
+    def digest(self) -> str:
+        """Content digest of the trace columns (hex, memoised).
+
+        Two traces with identical columns share a digest regardless of how
+        they were built; the result cache uses this as the trace half of
+        every content-addressed key.
+        """
+        if self._digest_cache is None:
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(len(self).to_bytes(8, "little"))
+            h.update(self._pc.tobytes())
+            h.update(self._target.tobytes())
+            h.update(np.packbits(self._taken).tobytes())
+            self._digest_cache = h.hexdigest()
+        return self._digest_cache
 
     # -- derived views ------------------------------------------------------
 

@@ -1,0 +1,148 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.analysis.cache as cache_module
+from repro.analysis.cache import ResultCache, result_key
+from repro.analysis.config import LabConfig
+from repro.analysis.runner import Lab
+from repro.correlation.tagging import collect_correlation_data
+from repro.workloads.suite import load_benchmark
+
+from conftest import trace_from_string
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return load_benchmark("compress", length=2000)
+
+
+class TestBitmapCache:
+    def test_miss_then_hit(self, cache, trace):
+        bitmap = np.arange(len(trace)) % 3 == 0
+        assert cache.load_bitmap(trace.digest(), "gshare|x") is None
+        assert cache.stats.misses == 1
+        cache.store_bitmap(trace.digest(), "gshare|x", bitmap)
+        assert cache.stats.writes == 1
+        loaded = cache.load_bitmap(trace.digest(), "gshare|x")
+        assert np.array_equal(loaded, bitmap)
+        assert cache.stats.hits == 1
+
+    def test_key_distinguishes_result_and_trace(self, cache, trace):
+        bitmap = np.zeros(len(trace), dtype=bool)
+        cache.store_bitmap(trace.digest(), "a", bitmap)
+        assert cache.load_bitmap(trace.digest(), "b") is None
+        assert cache.load_bitmap("other-digest", "a") is None
+
+    def test_schema_version_invalidates(self, cache, trace, monkeypatch):
+        bitmap = np.ones(len(trace), dtype=bool)
+        cache.store_bitmap(trace.digest(), "a", bitmap)
+        monkeypatch.setattr(cache_module, "SCHEMA_VERSION", 9999)
+        assert cache.load_bitmap(trace.digest(), "a") is None
+
+    def test_corrupted_file_is_a_miss(self, cache, trace):
+        bitmap = np.ones(len(trace), dtype=bool)
+        cache.store_bitmap(trace.digest(), "a", bitmap)
+        path = cache._path("bitmap", cache.bitmap_key(trace.digest(), "a"))
+        path.write_bytes(b"not an npz file")
+        assert cache.load_bitmap(trace.digest(), "a") is None
+        assert cache.stats.errors == 1
+        # Storing again repairs the entry.
+        cache.store_bitmap(trace.digest(), "a", bitmap)
+        assert np.array_equal(cache.load_bitmap(trace.digest(), "a"), bitmap)
+
+    def test_unwritable_root_never_raises(self, trace, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = ResultCache(blocker / "cache")
+        cache.store_bitmap(trace.digest(), "a", np.zeros(3, dtype=bool))
+        assert cache.stats.errors == 1
+        assert cache.stats.writes == 0
+
+
+class TestCorrelationCache:
+    def test_round_trip(self, cache, trace):
+        data = collect_correlation_data(trace, window=8)
+        assert cache.load_correlation(trace.digest(), 8) is None
+        cache.store_correlation(trace.digest(), data)
+        loaded = cache.load_correlation(trace.digest(), 8)
+        assert loaded.window == 8
+        assert loaded.trace_length == len(trace)
+        assert set(loaded.branches) == set(data.branches)
+        for pc, branch in data.branches.items():
+            other = loaded.branches[pc]
+            assert np.array_equal(branch.trace_indices, other.trace_indices)
+            assert np.array_equal(branch.outcomes, other.outcomes)
+            assert branch.tag_entries == other.tag_entries
+
+    def test_window_is_part_of_the_key(self, cache, trace):
+        data = collect_correlation_data(trace, window=8)
+        cache.store_correlation(trace.digest(), data)
+        assert cache.load_correlation(trace.digest(), 16) is None
+
+
+class TestTraceCache:
+    def test_round_trip(self, cache, trace):
+        assert cache.load_trace("compress", 2000, 12345) is None
+        cache.store_trace("compress", 2000, 12345, trace)
+        assert cache.load_trace("compress", 2000, 12345) == trace
+
+    def test_workload_schema_invalidates(self, cache, trace, monkeypatch):
+        cache.store_trace("compress", 2000, 12345, trace)
+        monkeypatch.setattr(cache_module, "WORKLOAD_SCHEMA", 9999)
+        assert cache.load_trace("compress", 2000, 12345) is None
+
+
+class TestMaintenance:
+    def test_entry_count_bytes_and_clear(self, cache, trace):
+        assert cache.entry_count() == 0
+        cache.store_bitmap(trace.digest(), "a", np.ones(10, dtype=bool))
+        cache.store_trace("compress", 2000, 12345, trace)
+        assert cache.entry_count() == 2
+        assert cache.total_bytes() > 0
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+
+
+class TestResultKey:
+    def test_config_fields_rekey(self):
+        a = result_key("gshare", LabConfig())
+        b = result_key("gshare", LabConfig(gshare_history_bits=12))
+        assert a != b
+        assert result_key("loop", LabConfig()) != a
+
+
+class TestLabIntegration:
+    def test_lab_reads_and_writes_cache(self, cache):
+        trace = load_benchmark("perl", length=1500)
+        lab = Lab(trace, cache=cache)
+        bitmap = lab.correct("loop")
+        assert cache.stats.writes >= 1
+        # A fresh lab over the same trace hits the disk cache.
+        lab2 = Lab(trace, cache=cache)
+        assert np.array_equal(lab2.correct("loop"), bitmap)
+        assert cache.stats.hits >= 1
+
+    def test_selective_bitmap_cached(self, cache):
+        trace = trace_from_string("TTNT" * 40)
+        lab = Lab(trace, cache=cache)
+        bitmap = lab.selective_correct(1)
+        lab2 = Lab(trace, cache=cache)
+        hits_before = cache.stats.hits
+        assert np.array_equal(lab2.selective_correct(1), bitmap)
+        assert cache.stats.hits > hits_before
+
+    def test_no_cache_lab_never_touches_disk(self, tmp_path):
+        trace = trace_from_string("TTNT" * 10)
+        lab = Lab(trace)
+        lab.correct("loop")
+        assert lab.cache is None
+        assert not (tmp_path / "cache").exists()

@@ -25,3 +25,62 @@ class TestCli:
 
     def test_seed_changes_workload(self, capsys):
         assert main(["table1", "--max-length", "2000", "--seed", "99"]) == 0
+
+
+class TestEngineFlags:
+    def test_report_is_alias_for_all(self, capsys, tmp_path):
+        assert main(
+            ["report", "--max-length", "2000",
+             "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "running table1" in out
+        assert "running fig9" in out
+
+    def test_no_cache_bypasses_disk(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert main(["table1", "--max-length", "2000", "--no-cache"]) == 0
+        assert not (tmp_path / "c").exists()
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_cache_dir_flag_populates(self, capsys, tmp_path):
+        cache_dir = tmp_path / "c"
+        assert main(
+            ["table2", "--max-length", "2000", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert cache_dir.is_dir()
+        first = capsys.readouterr().out
+        assert "misses" in first
+        # Second run is pure cache hits.
+        assert main(
+            ["table2", "--max-length", "2000", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert "0 misses" in capsys.readouterr().out
+
+    def test_explicit_jobs(self, capsys, tmp_path):
+        assert main(
+            ["table1", "--max-length", "2000", "--jobs", "2",
+             "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        assert "jobs: 2" in capsys.readouterr().out
+
+
+class TestCacheSubcommand:
+    def test_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = tmp_path / "c"
+        assert main(
+            ["table1", "--max-length", "2000", "--cache-dir", str(cache_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "entries: 0" not in out
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_dir_env(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envc"))
+        assert main(["cache", "stats"]) == 0
+        assert str(tmp_path / "envc") in capsys.readouterr().out

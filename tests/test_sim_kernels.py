@@ -1,0 +1,150 @@
+"""Kernel-equivalence property tests.
+
+Every predictor that overrides ``simulate()`` with a vectorised kernel
+(:mod:`repro.sim.kernels`) must be bit-identical to the generic scalar
+predict-then-update loop -- from a fresh state, from a carried
+(mid-trace) state, on every suite workload, and on random traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.predictors.base import simulate as generic_simulate
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.interference_free import InterferenceFreePAs
+from repro.predictors.loop import LoopPredictor
+from repro.predictors.pattern import (
+    BlockPatternPredictor,
+    FixedLengthPatternPredictor,
+)
+from repro.trace.trace import Trace
+from repro.workloads.suite import BENCHMARK_NAMES, load_benchmark
+
+from conftest import trace_from_string
+
+#: Every kernelised predictor, as (label, zero-arg factory).
+KERNEL_FACTORIES = [
+    ("bimodal-4b", lambda: BimodalPredictor(table_bits=4)),
+    ("bimodal-12b", lambda: BimodalPredictor(table_bits=12)),
+    ("bimodal-1bit", lambda: BimodalPredictor(table_bits=6, counter_bits=1)),
+    ("if-pas-0h", lambda: InterferenceFreePAs(history_bits=0)),
+    ("if-pas-2h", lambda: InterferenceFreePAs(history_bits=2)),
+    ("if-pas-6h", lambda: InterferenceFreePAs(history_bits=6)),
+    ("loop", LoopPredictor),
+    ("block", BlockPatternPredictor),
+    ("fixed-1", lambda: FixedLengthPatternPredictor(1)),
+    ("fixed-3", lambda: FixedLengthPatternPredictor(3)),
+    ("fixed-5", lambda: FixedLengthPatternPredictor(5)),
+]
+
+FACTORY_IDS = [label for label, _ in KERNEL_FACTORIES]
+FACTORIES = [factory for _, factory in KERNEL_FACTORIES]
+
+
+def random_trace(seed: int, n: int, num_branches: int, bias: float) -> Trace:
+    rng = np.random.default_rng(seed)
+    pcs = rng.integers(0, num_branches, n).astype(np.uint64) * np.uint64(4)
+    pcs += np.uint64(0x1000)
+    return Trace(pcs, pcs + np.uint64(16), rng.random(n) < bias)
+
+
+@pytest.fixture(scope="module")
+def suite_traces():
+    return {name: load_benchmark(name, length=2500) for name in BENCHMARK_NAMES}
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("factory", FACTORIES, ids=FACTORY_IDS)
+    def test_all_suite_workloads(self, factory, suite_traces):
+        for name, trace in suite_traces.items():
+            fast = factory().simulate(trace)
+            reference = generic_simulate(factory(), trace)
+            assert np.array_equal(fast, reference), name
+
+    @pytest.mark.parametrize("factory", FACTORIES, ids=FACTORY_IDS)
+    def test_random_traces(self, factory):
+        for seed in range(6):
+            trace = random_trace(
+                seed, n=400 + 137 * seed, num_branches=1 + 13 * seed,
+                bias=(0.1, 0.5, 0.85, 0.97, 0.5, 0.3)[seed],
+            )
+            fast = factory().simulate(trace)
+            reference = generic_simulate(factory(), trace)
+            assert np.array_equal(fast, reference), seed
+
+    @pytest.mark.parametrize("factory", FACTORIES, ids=FACTORY_IDS)
+    def test_chained_simulate_carries_state(self, factory):
+        """Two kernel calls must train across the split like one scalar run."""
+        trace = load_benchmark("compress", length=3000)
+        half = len(trace) // 2
+        first, second = trace[:half], trace[half:]
+        predictor = factory()
+        fast = np.concatenate(
+            [predictor.simulate(first), predictor.simulate(second)]
+        )
+        reference = generic_simulate(factory(), trace)
+        assert np.array_equal(fast, reference)
+
+    @pytest.mark.parametrize("factory", FACTORIES, ids=FACTORY_IDS)
+    def test_edge_traces(self, factory):
+        for spec in ("", "T", "N", "TN", "TTTN" * 12, "T" * 40, "NT" * 17):
+            trace = trace_from_string(spec)
+            fast = factory().simulate(trace)
+            reference = generic_simulate(factory(), trace)
+            assert np.array_equal(fast, reference), spec
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        outcomes=st.lists(st.booleans(), max_size=120),
+        pcs=st.lists(st.integers(0, 6), max_size=120),
+        which=st.integers(0, len(KERNEL_FACTORIES) - 1),
+    )
+    def test_hypothesis_random(self, outcomes, pcs, which):
+        n = min(len(outcomes), len(pcs))
+        trace = Trace(
+            np.asarray([0x400 + 4 * p for p in pcs[:n]], dtype=np.uint64),
+            np.full(n, 0x80, dtype=np.uint64),
+            np.asarray(outcomes[:n], dtype=bool),
+        )
+        factory = FACTORIES[which]
+        fast = factory().simulate(trace)
+        reference = generic_simulate(factory(), trace)
+        assert np.array_equal(fast, reference)
+
+
+class TestKernelStateWriteback:
+    def test_loop_entries_match_scalar(self):
+        trace = trace_from_string("TTTN" * 8 + "TTN" * 5)
+        kernel = LoopPredictor()
+        kernel.simulate(trace)
+        scalar = LoopPredictor()
+        generic_simulate(scalar, trace)
+        assert kernel.btb_size() == scalar.btb_size()
+        for pc, entry in scalar._entries.items():
+            other = kernel._entries[pc]
+            assert (
+                entry.direction, entry.expected,
+                entry.run_length, entry.opposite_streak,
+            ) == (
+                other.direction, other.expected,
+                other.run_length, other.opposite_streak,
+            )
+
+    def test_bimodal_table_matches_scalar(self):
+        trace = load_benchmark("go", length=1500)
+        kernel = BimodalPredictor(table_bits=6)
+        kernel.simulate(trace)
+        scalar = BimodalPredictor(table_bits=6)
+        generic_simulate(scalar, trace)
+        assert np.array_equal(kernel._table.raw, scalar._table.raw)
+
+    def test_fixed_ring_matches_scalar(self):
+        trace = load_benchmark("perl", length=1200)
+        kernel = FixedLengthPatternPredictor(4)
+        kernel.simulate(trace)
+        scalar = FixedLengthPatternPredictor(4)
+        generic_simulate(scalar, trace)
+        assert kernel._state == scalar._state

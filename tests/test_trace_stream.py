@@ -161,3 +161,40 @@ class TestTextFormat:
         assert main(["generate", "compress", "-o", str(path), "--length", "500"]) == 0
         assert main(["stats", str(path)]) == 0
         assert "dynamic branches:        500" in capsys.readouterr().out
+
+
+class TestLargeRoundTrips:
+    """Round-trip fidelity at batch-write / frombuffer-parse scale."""
+
+    @pytest.fixture(scope="class")
+    def big_trace(self):
+        rng = np.random.default_rng(9)
+        n = 100_000
+        pcs = rng.integers(0, 500, n).astype(np.uint64) * np.uint64(4)
+        pcs += np.uint64(0x10000)
+        targets = pcs + rng.integers(-256, 256, n).astype(np.int64).astype(
+            np.uint64
+        )
+        return Trace(pcs, targets, rng.random(n) < 0.6)
+
+    def test_text_round_trip_100k(self, tmp_path, big_trace):
+        from repro.trace.stream import read_text_trace, write_text_trace
+
+        path = tmp_path / "big.txt"
+        write_text_trace(big_trace, path)
+        assert read_text_trace(path) == big_trace
+
+    def test_binary_round_trip_100k(self, tmp_path, big_trace):
+        path = tmp_path / "big.bpt"
+        write_trace(big_trace, path)
+        assert read_trace(path) == big_trace
+
+    def test_text_chunk_boundary_lengths(self, tmp_path):
+        # Exercise the join-chunk edges (chunk size 8192 lines).
+        from repro.trace.stream import read_text_trace, write_text_trace
+
+        for n in (8191, 8192, 8193):
+            trace = trace_from_string("TN" * (n // 2) + "T" * (n % 2))
+            path = tmp_path / f"c{n}.txt"
+            write_text_trace(trace, path)
+            assert read_text_trace(path) == trace
