@@ -20,20 +20,46 @@ Public API highlights:
 * :mod:`repro.analysis` -- the simulation lab (memoised predictor runs,
   per-branch accuracy accounting, percentile curves).
 * :mod:`repro.experiments` -- one module per paper table/figure.
+* :mod:`repro.obs` -- run-level observability (metrics, span tracing,
+  run manifests).
+* :mod:`repro.api` -- the stable facade; start here::
+
+      from repro import run_report          # or: from repro.api import run_report
+      run = run_report(["table2"], max_length=20_000)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.trace import Trace, TraceBuilder, read_trace, write_trace
 from repro.workloads import BENCHMARK_NAMES, load_benchmark, load_suite
 
+# The facade imports the engine, which imports repro.trace/workloads --
+# keep this import last so the package is populated enough by the time
+# it runs (and so deep-path imports never pay for it implicitly).
+from repro.api import (  # noqa: E402
+    Lab,
+    LabConfig,
+    ReportRun,
+    build_labs,
+    generate_suite,
+    run_experiment,
+    run_report,
+)
+
 __all__ = [
     "BENCHMARK_NAMES",
+    "Lab",
+    "LabConfig",
+    "ReportRun",
     "Trace",
     "TraceBuilder",
     "__version__",
+    "build_labs",
+    "generate_suite",
     "load_benchmark",
     "load_suite",
     "read_trace",
+    "run_experiment",
+    "run_report",
     "write_trace",
 ]

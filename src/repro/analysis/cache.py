@@ -40,6 +40,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.correlation.tagging import BranchCorrelationData, CorrelationData
+from repro.obs.metrics import METRICS
 from repro.trace.trace import Trace
 
 #: Bump when the on-disk layout or any cached result's semantics change.
@@ -121,22 +122,33 @@ class ResultCache:
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / key[:2] / f"{key}.npz"
 
-    def _load(self, path: Path) -> Optional[dict]:
+    def _record_miss(self, kind: str, error: bool = False) -> None:
+        """Count a miss (and optionally an error) per entry kind."""
+        self.stats.misses += 1
+        METRICS.inc(f"cache.{kind}.misses")
+        if error:
+            self.stats.errors += 1
+            METRICS.inc("cache.errors")
+
+    def _record_hit(self, kind: str) -> None:
+        self.stats.hits += 1
+        METRICS.inc(f"cache.{kind}.hits")
+
+    def _load(self, path: Path, kind: str) -> Optional[dict]:
         """Load an npz entry; any failure is a recorded miss."""
         try:
             with np.load(path) as payload:
                 return {name: payload[name] for name in payload.files}
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._record_miss(kind)
             return None
         except Exception:
             # Truncated/corrupted/foreign file: treat as a miss so the
             # caller recomputes (and overwrites the bad entry).
-            self.stats.misses += 1
-            self.stats.errors += 1
+            self._record_miss(kind, error=True)
             return None
 
-    def _store(self, path: Path, **arrays: np.ndarray) -> None:
+    def _store(self, path: Path, kind: str, **arrays: np.ndarray) -> None:
         """Atomically write an npz entry (temp file + rename)."""
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -154,9 +166,15 @@ class ResultCache:
                     pass
                 raise
             self.stats.writes += 1
+            METRICS.inc(f"cache.{kind}.writes")
+            try:
+                METRICS.inc("cache.bytes_written", path.stat().st_size)
+            except OSError:
+                pass
         except OSError:
             # A read-only or full disk must never fail the computation.
             self.stats.errors += 1
+            METRICS.inc("cache.errors")
 
     # -- correctness bitmaps ----------------------------------------------
 
@@ -168,7 +186,8 @@ class ResultCache:
     ) -> Optional[np.ndarray]:
         """A cached correctness bitmap, or None on miss."""
         payload = self._load(
-            self._path("bitmap", self.bitmap_key(trace_digest, result_key))
+            self._path("bitmap", self.bitmap_key(trace_digest, result_key)),
+            "bitmap",
         )
         if payload is None:
             return None
@@ -176,10 +195,9 @@ class ResultCache:
             length = int(payload["length"])
             bitmap = np.unpackbits(payload["packed"], count=length).astype(bool)
         except Exception:
-            self.stats.errors += 1
-            self.stats.misses += 1
+            self._record_miss("bitmap", error=True)
             return None
-        self.stats.hits += 1
+        self._record_hit("bitmap")
         return bitmap
 
     def store_bitmap(
@@ -187,6 +205,7 @@ class ResultCache:
     ) -> None:
         self._store(
             self._path("bitmap", self.bitmap_key(trace_digest, result_key)),
+            "bitmap",
             packed=np.packbits(np.asarray(bitmap, dtype=bool)),
             length=np.int64(len(bitmap)),
         )
@@ -203,22 +222,23 @@ class ResultCache:
     ) -> Optional[CorrelationData]:
         """Cached tagged-correlation observations, or None on miss."""
         payload = self._load(
-            self._path("corr", self.correlation_key(trace_digest, window))
+            self._path("corr", self.correlation_key(trace_digest, window)),
+            "corr",
         )
         if payload is None:
             return None
         try:
             data = _correlation_from_arrays(payload)
         except Exception:
-            self.stats.errors += 1
-            self.stats.misses += 1
+            self._record_miss("corr", error=True)
             return None
-        self.stats.hits += 1
+        self._record_hit("corr")
         return data
 
     def store_correlation(self, trace_digest: str, data: CorrelationData) -> None:
         self._store(
             self._path("corr", self.correlation_key(trace_digest, data.window)),
+            "corr",
             **_correlation_to_arrays(data),
         )
 
@@ -239,7 +259,8 @@ class ResultCache:
     ) -> Optional[Trace]:
         """A cached generated benchmark trace, or None on miss."""
         payload = self._load(
-            self._path("trace", self.trace_key(name, length, run_seed))
+            self._path("trace", self.trace_key(name, length, run_seed)),
+            "trace",
         )
         if payload is None:
             return None
@@ -251,10 +272,9 @@ class ResultCache:
                 np.unpackbits(payload["taken"], count=count).astype(bool),
             )
         except Exception:
-            self.stats.errors += 1
-            self.stats.misses += 1
+            self._record_miss("trace", error=True)
             return None
-        self.stats.hits += 1
+        self._record_hit("trace")
         return trace
 
     def store_trace(
@@ -262,6 +282,7 @@ class ResultCache:
     ) -> None:
         self._store(
             self._path("trace", self.trace_key(name, length, run_seed)),
+            "trace",
             pc=trace.pc,
             target=trace.target,
             taken=np.packbits(trace.taken),
@@ -271,9 +292,15 @@ class ResultCache:
     # -- maintenance -------------------------------------------------------
 
     def _entries(self):
-        if not self.root.is_dir():
+        # A missing, deleted-underneath, or plain-file root must never
+        # fail maintenance commands: report an empty cache instead.
+        try:
+            if not self.root.is_dir():
+                return
+            kind_dirs = sorted(self.root.iterdir())
+        except OSError:
             return
-        for kind_dir in sorted(self.root.iterdir()):
+        for kind_dir in kind_dirs:
             if kind_dir.is_dir():
                 yield from sorted(kind_dir.glob("*/*.npz"))
 
@@ -281,7 +308,15 @@ class ResultCache:
         return sum(1 for _ in self._entries())
 
     def total_bytes(self) -> int:
-        return sum(path.stat().st_size for path in self._entries())
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                # Entry vanished between listing and stat (concurrent
+                # clear); count what is still there.
+                continue
+        return total
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""

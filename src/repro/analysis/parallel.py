@@ -14,6 +14,15 @@ inputs (a per-process LRU plus the shared disk cache make this cheap)
 and the parent verifies the returned trace digest before folding, so
 completion order and worker scheduling cannot change any result.
 
+Observability crosses the process boundary the same way the results do:
+each worker resets its per-process :data:`repro.obs.METRICS` registry
+and :data:`repro.obs.TRACER` per job, and ships the metric delta plus
+its span events back alongside the result; the parent folds both in the
+same deterministic (sorted-benchmark, task-order) sequence it folds
+bitmaps, so aggregated counters are independent of completion order and
+``sum(worker deltas) == single-process counters`` for every work-unit
+counter.
+
 Worker count comes from ``--jobs``, the :data:`ENV_JOBS` environment
 variable, or ``os.cpu_count()``; ``jobs <= 1`` short-circuits to the
 plain in-process path with no executor, no pickling and no subprocesses.
@@ -22,6 +31,7 @@ plain in-process path with no executor, no pickling and no subprocesses.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -29,7 +39,10 @@ from repro.analysis.cache import ResultCache, result_key
 from repro.analysis.config import LabConfig
 from repro.analysis.runner import Lab
 from repro.correlation.tagging import collect_correlation_data
+from repro.obs.metrics import METRICS
+from repro.obs.tracing import TRACER, span
 from repro.predictors.pattern import best_fixed_length_correct
+from repro.trace.trace import Trace
 
 #: Environment variable overriding the worker count.
 ENV_JOBS = "REPRO_JOBS"
@@ -80,37 +93,66 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return max(1, int(jobs))
 
 
+def compute_task(trace: Trace, config: LabConfig, task: str):
+    """Compute one task's result on a trace (the single source of truth).
+
+    Used by the serial priming path in-process and by
+    :func:`_run_task` inside workers, so both paths produce bit-identical
+    results and identical work-unit metrics (``sim.simulations`` /
+    ``sim.correlation_collections``).
+    """
+    if task == CORRELATION_TASK:
+        METRICS.inc("sim.correlation_collections")
+        with span(
+            "collect_correlation", length=len(trace)
+        ), METRICS.timer("sim.seconds"):
+            return collect_correlation_data(
+                trace, window=config.collection_window
+            )
+    METRICS.inc("sim.simulations")
+    with span(
+        "simulate", predictor=task, length=len(trace)
+    ), METRICS.timer("sim.seconds"):
+        if task == "fixed_best":
+            return best_fixed_length_correct(trace)
+        factory = getattr(config, _FACTORY_ATTRS[task])
+        return factory().simulate(trace)
+
+
 def _run_task(job: tuple):
     """Execute one ``(benchmark, task)`` job in a worker process.
 
     Module-level so it pickles; regenerates the trace from the job spec
     (per-process LRU in ``load_benchmark`` plus the shared disk cache
-    keep this a one-time cost per worker per benchmark).
+    keep this a one-time cost per worker per benchmark).  Returns the
+    job's metric delta and span events alongside the result so the
+    parent can fold telemetry deterministically.
     """
-    name, length, run_seed, config, task, cache_root, collection_window = job
+    name, length, run_seed, config, task, cache_root, _window = job
     from repro.workloads.suite import load_benchmark
 
-    cache = ResultCache(cache_root) if cache_root is not None else None
-    trace = cache.load_trace(name, length, run_seed) if cache else None
-    if trace is None:
-        trace = load_benchmark(name, length, run_seed)
+    METRICS.reset()
+    TRACER.reset()
+    start = time.perf_counter()
+    with span("job", benchmark=name, task=task):
+        cache = ResultCache(cache_root) if cache_root is not None else None
+        trace = cache.load_trace(name, length, run_seed) if cache else None
+        if trace is None:
+            trace = load_benchmark(name, length, run_seed)
+            if cache is not None:
+                cache.store_trace(name, length, run_seed, trace)
+        digest = trace.digest()
+        result = compute_task(trace, config, task)
         if cache is not None:
-            cache.store_trace(name, length, run_seed, trace)
-    digest = trace.digest()
-    if task == CORRELATION_TASK:
-        result = collect_correlation_data(trace, window=collection_window)
-        if cache is not None:
-            cache.store_correlation(digest, result)
-    elif task == "fixed_best":
-        result = best_fixed_length_correct(trace)
-        if cache is not None:
-            cache.store_bitmap(digest, result_key(task, config), result)
-    else:
-        factory = getattr(config, _FACTORY_ATTRS[task])
-        result = factory().simulate(trace)
-        if cache is not None:
-            cache.store_bitmap(digest, result_key(task, config), result)
-    return name, task, digest, result
+            if task == CORRELATION_TASK:
+                cache.store_correlation(digest, result)
+            else:
+                cache.store_bitmap(digest, result_key(task, config), result)
+    duration = time.perf_counter() - start
+    return (
+        name, task, digest, result,
+        METRICS.snapshot(), TRACER.chrome_events(), duration,
+    )
 
 
 def prime_labs(
@@ -140,6 +182,7 @@ def prime_labs(
         The number of jobs executed (0 means everything was cached).
     """
     jobs = resolve_jobs(jobs)
+    METRICS.gauge("parallel.workers", jobs)
     pending = []
     for name in sorted(labs):
         lab = labs[name]
@@ -154,9 +197,12 @@ def prime_labs(
         return 0
 
     if jobs <= 1:
-        # Serial path: compute in place; Lab handles memo + disk cache.
-        for name, task in pending:
-            _prime_serial(labs[name], task)
+        # Serial path: compute in place via the shared task kernel (one
+        # source of truth with the worker path); Lab folds memo + cache.
+        with span("prime_labs", jobs=1, pending=len(pending)):
+            for name, task in pending:
+                _prime_serial(labs[name], task)
+        METRICS.inc("parallel.jobs_executed", len(pending))
         return len(pending)
 
     cache_root = str(cache.root) if cache is not None else None
@@ -173,19 +219,28 @@ def prime_labs(
         for name, task in pending
     }
     results = {}
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {
-            pool.submit(_run_task, spec): key for key, spec in job_specs.items()
-        }
-        for future in as_completed(futures):
-            name, task, digest, result = future.result()
-            results[(name, task)] = (digest, result)
+    with span("prime_labs", jobs=jobs, pending=len(pending)):
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_run_task, spec): key
+                for key, spec in job_specs.items()
+            }
+            for future in as_completed(futures):
+                name, task, digest, result, delta, events, duration = (
+                    future.result()
+                )
+                results[(name, task)] = (digest, result, delta, events, duration)
 
     # Fold in deterministic (sorted-name, task-order) order, verifying
-    # the worker simulated the same trace the lab holds.
+    # the worker simulated the same trace the lab holds.  Metric deltas
+    # and span events fold in the same order, so aggregate telemetry is
+    # independent of worker scheduling.
     executed = 0
     for name, task in pending:
-        digest, result = results[(name, task)]
+        digest, result, delta, events, duration = results[(name, task)]
+        METRICS.merge(delta)
+        METRICS.add_time("parallel.job_seconds", duration)
+        TRACER.add_events(events)
         lab = labs[name]
         if digest != lab.trace.digest():
             # Worker regenerated a different trace (ad-hoc lab): discard
@@ -198,6 +253,7 @@ def prime_labs(
         else:
             lab.store_correct(task, result, write_through=write_through)
         executed += 1
+    METRICS.inc("parallel.jobs_executed", executed)
     return executed
 
 
@@ -223,7 +279,15 @@ def _fold_cached(lab: Lab, task: str) -> bool:
 
 
 def _prime_serial(lab: Lab, task: str) -> None:
+    """Compute one task in-process and fold it into the lab's memo.
+
+    Goes through :func:`compute_task` (not ``lab.correct``) so the
+    serial path counts exactly the work-unit metrics a worker would,
+    and probes the disk cache exactly once per task (the scheduling
+    loop's :func:`_fold_cached` already did).
+    """
+    result = compute_task(lab.trace, lab.config, task)
     if task == CORRELATION_TASK:
-        lab.correlation_data()
+        lab.store_correlation(result)
     else:
-        lab.correct(task)
+        lab.store_correct(task, result)

@@ -22,6 +22,8 @@ from repro.analysis.cache import ResultCache, result_key
 from repro.analysis.config import DEFAULT_CONFIG, LabConfig
 from repro.correlation.selection import Selection, select_for_trace
 from repro.correlation.tagging import CorrelationData, collect_correlation_data
+from repro.obs.metrics import METRICS
+from repro.obs.tracing import span
 from repro.predictors.base import BranchPredictor
 from repro.predictors.pattern import best_fixed_length_correct
 from repro.predictors.selective import SelectiveHistoryPredictor
@@ -121,6 +123,7 @@ class Lab:
         """Correctness bitmap of a named predictor (simulated once)."""
         cached = self._correct.get(name)
         if cached is not None:
+            METRICS.inc("sim.memo_hits")
             return cached
         if name != "fixed_best" and name not in self._factories:
             raise KeyError(
@@ -129,10 +132,13 @@ class Lab:
             )
         bitmap = self._cached_bitmap(name)
         if bitmap is None:
-            if name == "fixed_best":
-                bitmap = best_fixed_length_correct(self.trace)
-            else:
-                bitmap = self._factories[name]().simulate(self.trace)
+            METRICS.inc("sim.simulations")
+            with span("simulate", predictor=name, length=len(self.trace)), \
+                    METRICS.timer("sim.seconds"):
+                if name == "fixed_best":
+                    bitmap = best_fixed_length_correct(self.trace)
+                else:
+                    bitmap = self._factories[name]().simulate(self.trace)
             if self.cache is not None:
                 self.cache.store_bitmap(
                     self.trace.digest(), result_key(name, self.config), bitmap
@@ -157,9 +163,13 @@ class Lab:
                     self.trace.digest(), self.config.collection_window
                 )
             if data is None:
-                data = collect_correlation_data(
-                    self.trace, window=self.config.collection_window
-                )
+                METRICS.inc("sim.correlation_collections")
+                with span(
+                    "collect_correlation", length=len(self.trace)
+                ), METRICS.timer("sim.seconds"):
+                    data = collect_correlation_data(
+                        self.trace, window=self.config.collection_window
+                    )
                 if self.cache is not None:
                     self.cache.store_correlation(self.trace.digest(), data)
             self._correlation_data = data
@@ -193,15 +203,19 @@ class Lab:
         if cached is None:
             cached = self._cached_bitmap(name)
         if cached is None:
-            predictor = SelectiveHistoryPredictor(
-                count, self.config.selection_config(window)
-            )
-            predictor.fit(
-                self.trace,
-                data=self.correlation_data(),
-                selections=self.selections(count, window),
-            )
-            cached = predictor.simulate(self.trace)
+            METRICS.inc("sim.simulations")
+            with span(
+                "simulate", predictor=name, length=len(self.trace)
+            ), METRICS.timer("sim.seconds"):
+                predictor = SelectiveHistoryPredictor(
+                    count, self.config.selection_config(window)
+                )
+                predictor.fit(
+                    self.trace,
+                    data=self.correlation_data(),
+                    selections=self.selections(count, window),
+                )
+                cached = predictor.simulate(self.trace)
             if self.cache is not None:
                 self.cache.store_bitmap(
                     self.trace.digest(), result_key(name, self.config), cached

@@ -1,0 +1,235 @@
+"""The stable public API facade.
+
+Library users previously imported from deep module paths that moved as
+the engine grew (``repro.experiments.base``, ``repro.analysis.runner``,
+``repro.workloads.suite``...).  This module is the supported surface:
+
+>>> from repro.api import run_report
+>>> run = run_report(["table2"], max_length=20_000)
+>>> print(run.results["table2"])          # rendered artefact
+>>> run.manifest["cache"]["hit_ratio"]    # run-level telemetry
+
+Everything here accepts and returns the same objects the CLI uses
+(:class:`~repro.analysis.runner.Lab`,
+:class:`~repro.analysis.config.LabConfig`,
+:class:`~repro.experiments.base.ExperimentResult`), so code written
+against the facade and results produced by ``repro report`` are
+interchangeable.  The deep paths keep working -- the facade re-exports,
+it does not move code.
+
+:func:`run_report` is the instrumented entry point: it scopes the
+global metrics registry, traces every stage, and assembles the
+schema-versioned run manifest that ``repro report`` writes to
+``run_manifest.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.config import DEFAULT_CONFIG, LabConfig
+from repro.analysis.parallel import prime_labs, resolve_jobs
+from repro.analysis.runner import Lab
+from repro.experiments.base import (
+    EXPERIMENT_IDS,
+    EXTENSION_IDS,
+    ExperimentResult,
+    build_labs,
+    run_experiment,
+)
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.metrics import METRICS
+from repro.obs.tracing import TRACER
+from repro.trace.trace import Trace
+from repro.workloads.suite import load_suite
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "EXTENSION_IDS",
+    "Lab",
+    "LabConfig",
+    "ReportRun",
+    "build_labs",
+    "generate_suite",
+    "prime_labs",
+    "run_experiment",
+    "run_report",
+]
+
+
+def generate_suite(
+    max_length: Optional[int] = None, seed: int = 12345
+) -> Dict[str, Trace]:
+    """Generate the eight benchmark traces, in paper order.
+
+    A facade alias of :func:`repro.workloads.suite.load_suite` with the
+    facade's keyword spelling.
+    """
+    return load_suite(max_length, run_seed=seed)
+
+
+@dataclass
+class ReportRun:
+    """Everything one :func:`run_report` invocation produced.
+
+    Attributes:
+        results: Experiment id -> result, in run order.
+        labs: Benchmark name -> primed :class:`Lab` (reusable for
+            follow-up analysis without re-simulating).
+        manifest: The schema-versioned run manifest dict (already
+            written to disk when ``manifest_out`` was given).
+        metrics: The run's metric delta -- counters/gauges/timers that
+            happened during this run only.
+    """
+
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    labs: Dict[str, Lab] = field(default_factory=dict)
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+def _resolve_cache(
+    use_cache: bool, cache_dir: Optional[str]
+) -> Optional[ResultCache]:
+    if not use_cache:
+        return None
+    return ResultCache(cache_dir)
+
+
+def run_report(
+    experiments: Optional[List[str]] = None,
+    *,
+    max_length: Optional[int] = None,
+    config: Optional[LabConfig] = None,
+    seed: int = 12345,
+    jobs: Optional[Union[int, str]] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    json_out: Optional[str] = None,
+    manifest_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    trace_out: Optional[str] = None,
+    command: Optional[List[str]] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> ReportRun:
+    """Run experiments end to end: labs, simulations, results, manifest.
+
+    This is what ``repro report`` / ``repro all`` execute; library users
+    get the identical instrumented pipeline.
+
+    Args:
+        experiments: Experiment ids to run, in order (default: the nine
+            paper artefacts, :data:`EXPERIMENT_IDS`).  Duplicates run
+            once.
+        max_length: Scale anchor for the longest benchmark trace
+            (default: ``REPRO_TRACE_LENGTH`` or 200k).
+        config: Predictor sizing (default :data:`DEFAULT_CONFIG`).
+        seed: Workload execution seed.
+        jobs: Worker processes (default: ``REPRO_JOBS`` or CPU count).
+        use_cache: Consult/populate the on-disk result cache.
+        cache_dir: Cache root (default ``REPRO_CACHE_DIR`` or
+            ``.repro-cache``).
+        json_out: Also export the results as JSON to this path.
+        manifest_out: Write the run manifest JSON to this path.
+        metrics_out: Write the run's metric delta JSON to this path.
+        trace_out: Write the run's Chrome-trace span JSON to this path.
+        command: The argv that launched the run, recorded in the
+            manifest (None for library use).
+        echo: Progress sink (e.g. ``print``); None runs silently.
+
+    Returns:
+        A :class:`ReportRun` with results, primed labs, the manifest
+        dict, and the run's metric delta.
+
+    Raises:
+        KeyError: On an unknown experiment id.
+    """
+    say = echo if echo is not None else (lambda message: None)
+    if config is None:
+        config = DEFAULT_CONFIG
+    requested = list(
+        dict.fromkeys(experiments if experiments is not None else EXPERIMENT_IDS)
+    )
+    known = set(EXPERIMENT_IDS) | set(EXTENSION_IDS)
+    for experiment_id in requested:
+        if experiment_id not in known:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; choose from "
+                f"{sorted(known)}"
+            )
+
+    cache = _resolve_cache(use_cache, cache_dir)
+    jobs = resolve_jobs(jobs if jobs is None else int(jobs))
+
+    TRACER.reset()
+    baseline = METRICS.snapshot()
+    run_start = time.perf_counter()
+    with TRACER.span("report", experiments=",".join(requested)):
+        say("building workload traces...")
+        build_start = time.perf_counter()
+        labs = build_labs(max_length, config, seed, jobs=jobs, cache=cache)
+        build_seconds = time.perf_counter() - build_start
+        total = sum(len(lab.trace) for lab in labs.values())
+        say(f"  {len(labs)} benchmarks, {total} dynamic branches")
+        if cache is not None:
+            say(f"  cache: {cache.root} ({cache.stats.summary()})")
+        say(f"  jobs: {jobs}\n")
+
+        results: Dict[str, ExperimentResult] = {}
+        experiment_timings: List[dict] = []
+        for experiment_id in requested:
+            say(f"running {experiment_id}...")
+            experiment_start = time.perf_counter()
+            result = run_experiment(experiment_id, labs)
+            experiment_timings.append({
+                "id": experiment_id,
+                "seconds": time.perf_counter() - experiment_start,
+            })
+            results[experiment_id] = result
+            say(f"\n{result}\n")
+
+    if json_out:
+        from repro.experiments.export import export_results
+
+        export_results(results, json_out)
+        say(f"JSON results written to {json_out}")
+
+    metrics_delta = METRICS.delta_since(baseline)
+    manifest = build_manifest(
+        command=command,
+        config=config,
+        run_seed=seed,
+        max_length=max_length,
+        jobs=jobs,
+        cache_enabled=cache is not None,
+        cache_dir=str(cache.root) if cache is not None else None,
+        labs=labs,
+        results=results,
+        experiment_timings=experiment_timings,
+        metrics=metrics_delta,
+        timings={
+            "build_labs_seconds": build_seconds,
+            "total_seconds": time.perf_counter() - run_start,
+        },
+    )
+    if manifest_out:
+        write_manifest(manifest, manifest_out)
+        say(f"run manifest written to {manifest_out}")
+    if metrics_out:
+        import json as _json
+
+        with open(metrics_out, "w") as fh:
+            _json.dump(metrics_delta, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        say(f"metrics written to {metrics_out}")
+    if trace_out:
+        TRACER.write(trace_out)
+        say(f"span trace written to {trace_out}")
+    if cache is not None:
+        say(f"cache: {cache.stats.summary()}")
+    return ReportRun(
+        results=results, labs=labs, manifest=manifest, metrics=metrics_delta
+    )

@@ -337,6 +337,9 @@ def run_contract_suite(
     predict-then-update loop (state purity + interleaving), then checks
     replay determinism with two further fresh instances.
     """
+    from repro.obs.metrics import METRICS
+
+    METRICS.inc("check.contract_checks")
     diagnostics: List[Diagnostic] = []
     probe = factory()
     location = label or probe.name

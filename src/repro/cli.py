@@ -1,5 +1,9 @@
 """Command-line interface: ``repro [experiment ids | all | report]``.
 
+A thin shell over :func:`repro.api.run_report` -- the CLI parses flags,
+the facade runs the instrumented pipeline, so library runs and CLI runs
+are the same code path.
+
 Examples::
 
     repro table2                 # one experiment
@@ -9,10 +13,16 @@ Examples::
     repro all --max-length 50000 # smaller traces, faster
     repro all --jobs 4           # explicit worker count
     repro all --no-cache         # force recomputation
+    repro report --metrics-out m.json --trace-out spans.json
+    repro obs show run_manifest.json   # inspect/validate a manifest
     repro cache stats            # inspect the result cache
     repro cache clear            # reclaim the cache directory
     python -m repro all          # equivalent module form
     python -m repro check        # static verification (repro.check)
+
+``repro report`` / ``repro all`` also write a schema-versioned run
+manifest (``run_manifest.json`` by default; ``--manifest-out`` to move
+or, with an empty value, suppress it).
 """
 
 from __future__ import annotations
@@ -23,17 +33,18 @@ import time
 from typing import List, Optional
 
 from repro.analysis.config import LabConfig
-from repro.experiments.base import (
-    EXPERIMENT_IDS,
-    EXTENSION_IDS,
-    build_labs,
-    run_experiment,
-)
+from repro.cliopts import DEFAULT_SEED, engine_parent
+from repro.experiments.base import EXPERIMENT_IDS, EXTENSION_IDS
+
+#: Where ``repro report`` / ``repro all`` put the run manifest unless
+#: ``--manifest-out`` says otherwise.
+DEFAULT_MANIFEST_NAME = "run_manifest.json"
 
 
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
+        parents=[engine_parent()],
         description=(
             "Reproduce the tables and figures of Evers et al., 'An "
             "Analysis of Correlation and Predictability' (ISCA 1998)."
@@ -46,7 +57,8 @@ def _parser() -> argparse.ArgumentParser:
             f"experiment ids ({', '.join(EXPERIMENT_IDS)}), extension ids "
             f"({', '.join(EXTENSION_IDS)}), 'all' (paper artefacts), "
             "'report' (alias for all), 'extensions', 'cache' "
-            "(stats|clear), or 'check' (static verification)"
+            "(stats|clear), 'obs' (show|validate|diff), or 'check' "
+            "(static verification)"
         ),
     )
     parser.add_argument(
@@ -58,12 +70,6 @@ def _parser() -> argparse.ArgumentParser:
             "keep the paper's proportions (default: REPRO_TRACE_LENGTH "
             "or 200000)"
         ),
-    )
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=12345,
-        help="workload execution seed (the 'input data set')",
     )
     parser.add_argument(
         "--json",
@@ -78,49 +84,36 @@ def _parser() -> argparse.ArgumentParser:
         help="override the reference gshare history length",
     )
     parser.add_argument(
-        "--jobs",
-        type=int,
+        "--manifest-out",
+        metavar="PATH",
         default=None,
         help=(
-            "simulation worker processes (default: REPRO_JOBS or the "
-            "CPU count; 1 disables multiprocessing)"
+            "write the run manifest to PATH (default: "
+            f"{DEFAULT_MANIFEST_NAME} for 'report'/'all', none "
+            "otherwise; pass an empty value to suppress)"
         ),
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="bypass the on-disk result cache entirely",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        metavar="DIR",
-        default=None,
-        help="result-cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
     )
     return parser
 
 
 def _cache_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    return argparse.ArgumentParser(
         prog="repro cache",
+        parents=[engine_parent()],
         description="Inspect or clear the on-disk result cache.",
     )
-    parser.add_argument("action", choices=("stats", "clear"))
-    parser.add_argument(
-        "--cache-dir",
-        metavar="DIR",
-        default=None,
-        help="cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
-    )
-    return parser
 
 
 def _cache_main(argv: List[str]) -> int:
     from repro.analysis.cache import ResultCache
 
-    args = _cache_parser().parse_args(argv)
+    parser = _cache_parser()
+    parser.add_argument("action", choices=("stats", "clear"))
+    args = parser.parse_args(argv)
     cache = ResultCache(args.cache_dir)
     if args.action == "stats":
+        # A missing or empty cache directory is a normal state (fresh
+        # checkout, post-clear): report zero entries, exit 0.
         count = cache.entry_count()
         size = cache.total_bytes()
         print(f"cache directory: {cache.root}")
@@ -144,11 +137,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return check_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     args = _parser().parse_args(argv)
     requested: List[str] = []
+    wants_manifest = False
     for item in args.experiments:
         if item in ("all", "report"):
             requested.extend(EXPERIMENT_IDS)
+            wants_manifest = True
         elif item == "extensions":
             requested.extend(EXTENSION_IDS)
         elif item in EXPERIMENT_IDS or item in EXTENSION_IDS:
@@ -169,36 +168,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             gshare_pht_bits=args.gshare_history,
         )
 
-    from repro.analysis.cache import ResultCache
-    from repro.analysis.parallel import resolve_jobs
+    manifest_out = args.manifest_out
+    if manifest_out is None and wants_manifest:
+        manifest_out = DEFAULT_MANIFEST_NAME
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    jobs = resolve_jobs(args.jobs)
+    from repro.api import run_report
 
     start = time.time()
-    print("building workload traces...", flush=True)
-    labs = build_labs(args.max_length, config, args.seed, jobs=jobs, cache=cache)
-    total = sum(len(lab.trace) for lab in labs.values())
-    print(f"  {len(labs)} benchmarks, {total} dynamic branches", flush=True)
-    if cache is not None:
-        print(f"  cache: {cache.root} ({cache.stats.summary()})", flush=True)
-    print(f"  jobs: {jobs}\n", flush=True)
-
-    results = {}
-    for experiment_id in dict.fromkeys(requested):
-        print(f"running {experiment_id}...", flush=True)
-        result = run_experiment(experiment_id, labs)
-        results[experiment_id] = result
-        print(f"\n{result}\n", flush=True)
-    if args.json:
-        from repro.experiments.export import export_results
-
-        export_results(results, args.json)
-        print(f"JSON results written to {args.json}")
-    if cache is not None:
-        print(f"cache: {cache.stats.summary()}")
+    run_report(
+        requested,
+        max_length=args.max_length,
+        config=config,
+        seed=args.seed,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        json_out=args.json,
+        manifest_out=manifest_out or None,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+        command=["repro", *argv],
+        echo=lambda message: print(message, flush=True),
+    )
     print(f"done in {time.time() - start:.1f}s")
     return 0
+
+
+__all__ = ["DEFAULT_MANIFEST_NAME", "DEFAULT_SEED", "main"]
 
 
 if __name__ == "__main__":

@@ -1,0 +1,91 @@
+"""Shared engine options for every ``repro`` / ``repro-tools`` command.
+
+The simulation engine grew one flag at a time (``--jobs`` on the report
+runner, ``--seed`` here, ``--cache-dir`` there), so the same knob was
+spelled or defaulted differently across subcommands.  This module is
+the one definition: :func:`engine_parent` returns an ``add_help=False``
+parser carrying every engine-level flag, and each subcommand parser
+lists it in ``parents=[...]`` --
+
+* ``--jobs`` -- worker processes (``REPRO_JOBS`` / CPU count default);
+* ``--cache-dir`` / ``--no-cache`` -- the on-disk result cache;
+* ``--seed`` -- the workload execution seed ("input data set");
+* ``--metrics-out`` / ``--trace-out`` -- observability artefacts
+  (metric snapshot JSON, Chrome-trace span JSON).
+
+Commands that have no use for a given flag still *accept* it (uniform
+interface); they simply ignore it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+#: The seed every command uses unless told otherwise.
+DEFAULT_SEED = 12345
+
+
+def engine_parent() -> argparse.ArgumentParser:
+    """The shared parent parser with every engine-level option."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("engine options")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "simulation worker processes (default: REPRO_JOBS or the "
+            "CPU count; 1 disables multiprocessing)"
+        ),
+    )
+    group.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    group.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="workload execution seed (the 'input data set')",
+    )
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's metric snapshot as JSON to PATH",
+    )
+    group.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's spans as Chrome trace JSON to PATH",
+    )
+    return parent
+
+
+def write_observability_outputs(args: argparse.Namespace) -> None:
+    """Honour ``--metrics-out`` / ``--trace-out`` after a command ran.
+
+    Writes the *process-global* metric snapshot and span buffer, which
+    for a CLI invocation is exactly the command's telemetry.
+    """
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from repro.obs.metrics import METRICS
+
+        with open(metrics_out, "w") as fh:
+            json.dump(METRICS.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.obs.tracing import TRACER
+
+        TRACER.write(trace_out)

@@ -1,21 +1,34 @@
-"""Experiment protocol, registry, and lab construction."""
+"""Experiment protocol, registry, lab construction, result contract."""
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Optional
+import dataclasses
+import json
+from typing import Any, Callable, Dict, Optional
 
 from repro.analysis.cache import ResultCache
 from repro.analysis.config import DEFAULT_CONFIG, LabConfig
 from repro.analysis.runner import Lab
+from repro.obs.metrics import METRICS
+from repro.obs.tracing import span
 from repro.workloads.suite import BENCHMARK_NAMES, load_benchmark, scaled_length
+
+#: Version of the serialised :meth:`ExperimentResult.to_dict` layout.
+#: Version 1 was the implicit pre-contract layout (flat fields, no
+#: version marker); version 2 adds ``schema_version`` while keeping
+#: every version-1 field in place, so version-1 readers keep working.
+RESULT_SCHEMA_VERSION = 2
 
 
 class ExperimentResult(abc.ABC):
     """Base class for experiment results.
 
     Subclasses are dataclasses holding the measured numbers; ``render()``
-    produces the monospace report mirroring the paper's artefact.
+    produces the monospace report mirroring the paper's artefact, and
+    :meth:`to_dict` / :meth:`to_json` are the one serialisation contract
+    shared by ``repro.experiments.export``, the run manifest, and the
+    CLI's ``--json`` flag.
     """
 
     #: Experiment id (``table1`` .. ``fig9``).
@@ -26,6 +39,34 @@ class ExperimentResult(abc.ABC):
     @abc.abstractmethod
     def render(self) -> str:
         """The text report for this experiment."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The schema-versioned JSON-ready form of this result.
+
+        Layout: ``schema_version`` + ``experiment_id`` + ``title`` plus
+        one key per dataclass field, all converted to plain JSON types.
+        The field keys match the pre-versioned (version-1) export
+        layout, so readers of old ``--json`` files parse new ones
+        unchanged.
+        """
+        from repro.experiments.export import to_jsonable
+
+        payload: Dict[str, Any] = {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+        }
+        for field in dataclasses.fields(self):
+            payload[field.name] = to_jsonable(getattr(self, field.name))
+        return payload
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical (key-sorted) JSON of :meth:`to_dict`.
+
+        Bit-identical across equivalent runs; the run manifest digests
+        this string to compare runs.
+        """
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def __str__(self) -> str:
         return f"== {self.experiment_id}: {self.title} ==\n{self.render()}"
@@ -69,18 +110,19 @@ def build_labs(
         cache: Optional on-disk result cache attached to every lab.
     """
     labs = {}
-    for name in BENCHMARK_NAMES:
-        length = scaled_length(name, max_length)
-        trace = cache.load_trace(name, length, run_seed) if cache else None
-        if trace is None:
-            trace = load_benchmark(name, length, run_seed)
-            if cache is not None:
-                cache.store_trace(name, length, run_seed, trace)
-        labs[name] = Lab(trace, config, cache=cache)
-    if jobs is not None:
-        from repro.analysis.parallel import prime_labs
+    with span("build_labs", run_seed=run_seed):
+        for name in BENCHMARK_NAMES:
+            length = scaled_length(name, max_length)
+            trace = cache.load_trace(name, length, run_seed) if cache else None
+            if trace is None:
+                trace = load_benchmark(name, length, run_seed)
+                if cache is not None:
+                    cache.store_trace(name, length, run_seed, trace)
+            labs[name] = Lab(trace, config, cache=cache)
+        if jobs is not None:
+            from repro.analysis.parallel import prime_labs
 
-        prime_labs(labs, run_seed, jobs=jobs, cache=cache)
+            prime_labs(labs, run_seed, jobs=jobs, cache=cache)
     return labs
 
 
@@ -94,7 +136,10 @@ def run_experiment(experiment_id: str, labs: Dict[str, Lab]) -> ExperimentResult
             f"unknown experiment {experiment_id!r}; choose from "
             f"{sorted(_REGISTRY)}"
         ) from None
-    return runner(labs)
+    METRICS.inc("experiments.run")
+    with span("experiment", experiment=experiment_id), \
+            METRICS.timer("experiments.seconds"):
+        return runner(labs)
 
 
 def _ensure_registered() -> None:

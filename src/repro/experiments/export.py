@@ -1,8 +1,18 @@
 """JSON export of experiment results.
 
-Experiment results are nested dataclasses containing numpy arrays and
-tuples keyed by ints; this module converts any of them into plain JSON
-types so the reproduced numbers can be fed to external plotting.
+The serialisation contract lives on the base class:
+:meth:`repro.experiments.base.ExperimentResult.to_dict` (schema-
+versioned dict) and ``to_json`` (canonical string) are what this
+module, the run manifest, and the CLI's ``--json`` flag all consume.
+This module keeps the recursive value converter (:func:`to_jsonable`)
+that contract is built on, plus the file-level :func:`export_results`.
+
+Compatibility: version-2 documents are a superset of the pre-versioned
+(version-1) layout -- same flat field keys, plus a ``schema_version``
+marker -- so readers of old ``--json`` files keep working.  Calling
+:func:`to_jsonable` directly on an :class:`ExperimentResult` still
+yields the version-1 (unversioned) layout and is deprecated in favour
+of ``result.to_dict()``.
 """
 
 from __future__ import annotations
@@ -17,7 +27,14 @@ from repro.experiments.base import ExperimentResult
 
 
 def to_jsonable(value: Any) -> Any:
-    """Recursively convert a result payload to JSON-encodable types."""
+    """Recursively convert a result payload to JSON-encodable types.
+
+    .. deprecated::
+        For a whole :class:`ExperimentResult`, prefer
+        ``result.to_dict()`` -- the schema-versioned contract.  Passing
+        a result here still produces the legacy (version-1, unversioned)
+        layout for old readers.
+    """
     if isinstance(value, ExperimentResult):
         payload = {
             "experiment_id": value.experiment_id,
@@ -49,9 +66,14 @@ def to_jsonable(value: Any) -> Any:
 
 
 def export_results(results: Dict[str, ExperimentResult], path: str) -> None:
-    """Write a map of experiment results to ``path`` as JSON."""
+    """Write a map of experiment results to ``path`` as JSON.
+
+    Each entry is the result's :meth:`~ExperimentResult.to_dict`
+    (schema-versioned; a field-compatible superset of the legacy
+    layout).
+    """
     payload = {
-        experiment_id: to_jsonable(result)
+        experiment_id: result.to_dict()
         for experiment_id, result in results.items()
     }
     with open(path, "w") as fh:

@@ -1,0 +1,91 @@
+"""``repro obs`` -- inspect run-observability artefacts.
+
+Subcommands::
+
+    repro obs show run_manifest.json        # validate + summarise
+    repro obs validate run_manifest.json    # validate only (quiet)
+    repro obs diff old.json new.json        # compare deterministic parts
+
+``show``/``validate`` exit 1 on an invalid manifest, ``diff`` exits 1
+when the two runs' deterministic sections differ -- so both are usable
+as CI gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.manifest import (
+    diff_manifests,
+    summarize_manifest,
+    validate_manifest,
+)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Inspect run manifests and observability artefacts.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    show = subparsers.add_parser(
+        "show", help="validate and summarise a run manifest"
+    )
+    show.add_argument("manifest")
+
+    validate = subparsers.add_parser(
+        "validate", help="validate a run manifest (no output when clean)"
+    )
+    validate.add_argument("manifest")
+
+    diff = subparsers.add_parser(
+        "diff", help="compare the deterministic sections of two manifests"
+    )
+    diff.add_argument("first")
+    diff.add_argument("second")
+    return parser
+
+
+def _load(path: str) -> Optional[dict]:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read manifest {path}: {error}", file=sys.stderr)
+        return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    if args.command in ("show", "validate"):
+        payload = _load(args.manifest)
+        if payload is None:
+            return 1
+        errors = validate_manifest(payload)
+        if errors:
+            for error in errors:
+                print(f"error: {error}", file=sys.stderr)
+            return 1
+        if args.command == "show":
+            print(summarize_manifest(payload))
+        return 0
+    first = _load(args.first)
+    second = _load(args.second)
+    if first is None or second is None:
+        return 1
+    differences = diff_manifests(first, second)
+    if differences:
+        for difference in differences:
+            print(difference)
+        return 1
+    print("manifests agree on all deterministic sections")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

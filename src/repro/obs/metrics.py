@@ -1,0 +1,159 @@
+"""Lightweight, dependency-free metrics registry.
+
+A :class:`Metrics` instance holds three families of instruments:
+
+* **counters** -- monotonically increasing integers (``inc``), e.g. how
+  many predictor simulations actually ran versus hit a memo;
+* **gauges** -- last-written values (``gauge``), e.g. the resolved
+  worker count of a run;
+* **timers** -- accumulated ``(count, seconds)`` pairs (``timer`` as a
+  context manager, or ``add_time`` for externally-measured durations),
+  e.g. per-worker job wall-clock.
+
+Everything is guarded by one lock, so instruments can be bumped from any
+thread.  Cross-*process* aggregation works by value, not by sharing:
+worker processes reset their (per-process) global registry, do their
+work, and ship a :meth:`Metrics.snapshot` delta back to the parent,
+which folds it in with :meth:`Metrics.merge` in a deterministic order --
+mirroring how simulation results themselves are folded by
+:mod:`repro.analysis.parallel`.
+
+The module-level :data:`METRICS` registry is what the instrumented
+engine code writes to.  Run-scoped accounting takes a snapshot before
+the run and a :meth:`Metrics.delta_since` after, so long-lived processes
+(library users, test suites) never need to reset global state.
+
+Instrument names are dotted lowercase paths (``cache.bitmap.hits``,
+``sim.simulations``); the full catalogue lives in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Union
+
+Number = Union[int, float]
+
+
+class Metrics:
+    """A thread-safe counter/gauge/timer registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, Number] = {}
+        self._timers: Dict[str, Dict[str, Number]] = {}
+
+    # -- instruments -------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` (default 1) to counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def add_time(self, name: str, seconds: float, count: int = 1) -> None:
+        """Fold an externally-measured duration into timer ``name``."""
+        with self._lock:
+            entry = self._timers.setdefault(name, {"count": 0, "seconds": 0.0})
+            entry["count"] += count
+            entry["seconds"] += float(seconds)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    # -- reads -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of every instrument, with sorted keys.
+
+        The returned value is JSON-encodable and picklable, suitable for
+        shipping across a process boundary or embedding in a manifest.
+        """
+        with self._lock:
+            return {
+                "counters": {k: self._counters[k] for k in sorted(self._counters)},
+                "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+                "timers": {
+                    k: dict(self._timers[k]) for k in sorted(self._timers)
+                },
+            }
+
+    def delta_since(self, baseline: dict) -> dict:
+        """Snapshot minus ``baseline`` (an earlier :meth:`snapshot`).
+
+        Counters and timers subtract; gauges report their current value
+        (a gauge is a level, not a flow).  Instruments absent from the
+        baseline are reported in full; zero-valued counter deltas are
+        dropped so the result describes only what happened in between.
+        """
+        current = self.snapshot()
+        base_counters = baseline.get("counters", {})
+        counters = {
+            name: value - base_counters.get(name, 0)
+            for name, value in current["counters"].items()
+            if value - base_counters.get(name, 0) != 0
+        }
+        base_timers = baseline.get("timers", {})
+        timers = {}
+        for name, entry in current["timers"].items():
+            base = base_timers.get(name, {"count": 0, "seconds": 0.0})
+            count = entry["count"] - base["count"]
+            if count > 0:
+                timers[name] = {
+                    "count": count,
+                    "seconds": entry["seconds"] - base["seconds"],
+                }
+        return {
+            "counters": counters,
+            "gauges": current["gauges"],
+            "timers": timers,
+        }
+
+    # -- aggregation -------------------------------------------------------
+
+    def merge(self, delta: dict) -> None:
+        """Fold a :meth:`snapshot`/:meth:`delta_since` dict into this one.
+
+        Counters and timers add; gauges take the incoming value.  Used by
+        the parent process to aggregate worker deltas; callers are
+        responsible for folding in a deterministic order.
+        """
+        with self._lock:
+            for name, value in delta.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+            for name, value in delta.get("gauges", {}).items():
+                self._gauges[name] = value
+            for name, entry in delta.get("timers", {}).items():
+                mine = self._timers.setdefault(name, {"count": 0, "seconds": 0.0})
+                mine["count"] += entry.get("count", 0)
+                mine["seconds"] += float(entry.get("seconds", 0.0))
+
+    def reset(self) -> None:
+        """Zero every instrument (worker processes, test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+
+#: The process-global registry the instrumented engine writes to.
+METRICS = Metrics()

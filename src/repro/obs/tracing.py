@@ -1,0 +1,159 @@
+"""Nested span tracing with Chrome-trace-format export.
+
+A *span* is a named, timed region of a run::
+
+    from repro.obs import span
+
+    with span("simulate", predictor="gshare", benchmark="gcc"):
+        ...
+
+Spans nest: entering a span inside another makes it a child, so a run
+builds a structured in-memory tree (per thread, rooted at
+:attr:`Tracer.roots`).  :meth:`Tracer.chrome_events` flattens the tree
+into Chrome trace format ("X" complete events, microsecond timestamps),
+which ``chrome://tracing`` or https://ui.perfetto.dev render as a
+flamegraph; :meth:`Tracer.write` dumps the standard
+``{"traceEvents": [...]}`` JSON envelope.
+
+Worker processes record spans into their own (per-process) global
+:data:`TRACER`, serialise them with :meth:`Tracer.chrome_events`, and
+ship the event dicts back to the parent, which attaches them with
+:meth:`Tracer.add_events`; events keep their originating ``pid`` so each
+worker renders as its own track.  Timestamps are relative to each
+process's tracer reset, which is exactly what a per-run flamegraph
+wants.
+
+Tracing records *where wall-clock went*; it never influences simulation
+results, which stay a pure function of (seed, config).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One timed region: name, attributes, start/duration, children.
+
+    ``start`` and ``duration`` are seconds; ``start`` is relative to the
+    owning tracer's last reset.
+    """
+
+    name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    start: float = 0.0
+    duration: float = 0.0
+    tid: int = 0
+    children: List["Span"] = field(default_factory=list)
+
+
+class Tracer:
+    """Collects a span tree per thread plus foreign (worker) events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.roots: List[Span] = []
+        self._foreign_events: List[dict] = []
+        self._origin = time.perf_counter()
+
+    def reset(self) -> None:
+        """Drop all recorded spans and restart the clock origin."""
+        with self._lock:
+            self.roots = []
+            self._foreign_events = []
+            self._origin = time.perf_counter()
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; yields the :class:`Span` being recorded."""
+        stack = self._stack()
+        node = Span(
+            name=name,
+            attrs=dict(attrs),
+            start=time.perf_counter() - self._origin,
+            tid=threading.get_ident(),
+        )
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            with self._lock:
+                self.roots.append(node)
+        stack.append(node)
+        start = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.duration = time.perf_counter() - start
+            stack.pop()
+
+    # -- export ------------------------------------------------------------
+
+    def add_events(self, events: List[dict]) -> None:
+        """Attach pre-serialised Chrome events (from a worker process)."""
+        with self._lock:
+            self._foreign_events.extend(events)
+
+    def _flatten(
+        self, node: Span, pid: int, parent: Optional[str], out: List[dict]
+    ) -> None:
+        out.append({
+            "name": node.name,
+            "ph": "X",
+            "ts": node.start * 1e6,
+            "dur": node.duration * 1e6,
+            "pid": pid,
+            "tid": node.tid,
+            "args": (
+                {**node.attrs, "parent": parent}
+                if parent is not None
+                else dict(node.attrs)
+            ),
+        })
+        for child in node.children:
+            self._flatten(child, pid, node.name, out)
+
+    def chrome_events(self) -> List[dict]:
+        """Every recorded span as Chrome trace 'X' events (plus foreign)."""
+        pid = os.getpid()
+        out: List[dict] = []
+        with self._lock:
+            roots = list(self.roots)
+            foreign = list(self._foreign_events)
+        for root in roots:
+            self._flatten(root, pid, None, out)
+        out.extend(foreign)
+        return out
+
+    def write(self, path: str) -> None:
+        """Write the ``{"traceEvents": [...]}`` JSON envelope to ``path``."""
+        payload = {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+#: The process-global tracer the instrumented engine records into.
+TRACER = Tracer()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the global :data:`TRACER` (module-level shortcut)."""
+    return TRACER.span(name, **attrs)

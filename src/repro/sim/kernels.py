@@ -36,6 +36,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.obs.metrics import METRICS
 from repro.trace.trace import Trace
 
 __all__ = [
@@ -129,6 +130,7 @@ def simulate_bimodal(predictor, trace: Trace) -> np.ndarray:
     trace is grouped by *index* (not raw pc): each group is one
     independent counter chain.
     """
+    METRICS.inc("sim.kernel_fastpath")
     n = len(trace)
     correct = np.zeros(n, dtype=bool)
     if n == 0:
@@ -169,6 +171,7 @@ def simulate_if_pas(predictor, trace: Trace) -> np.ndarray:
     shifted ORs), so instances group by pattern, and each (branch,
     pattern) group is one independent saturating-counter chain.
     """
+    METRICS.inc("sim.kernel_fastpath")
     n = len(trace)
     correct = np.zeros(n, dtype=bool)
     history_bits = predictor._history_bits
@@ -249,6 +252,7 @@ def simulate_loop(predictor, trace: Trace) -> np.ndarray:
       iff the trip count had been learned), followed -- if it repeats --
       by one misprediction and a direction-bit flip.
     """
+    METRICS.inc("sim.kernel_fastpath")
     from repro.predictors.loop import MAX_TRIP_COUNT, _LoopEntry
 
     n = len(trace)
@@ -340,6 +344,7 @@ def simulate_block_pattern(predictor, trace: Trace) -> np.ndarray:
     counter is below that direction's previous run length; a direction
     change is predicted correctly iff the completed run matched it.
     """
+    METRICS.inc("sim.kernel_fastpath")
     from repro.predictors.pattern import MAX_RUN_LENGTH, _BlockEntry
 
     n = len(trace)
@@ -403,6 +408,7 @@ def simulate_fixed_pattern(predictor, trace: Trace) -> np.ndarray:
     ago (taken while fewer than ``k`` outcomes have been seen): a
     shifted self-comparison of the branch's outcome column.
     """
+    METRICS.inc("sim.kernel_fastpath")
     k = predictor._k
     state = predictor._state
     n = len(trace)

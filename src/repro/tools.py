@@ -10,6 +10,12 @@ Subcommands::
 
 The simulate subcommand accepts predictor specs of the form
 ``name[:key=value,...]``, e.g. ``gshare:history_bits=12,pht_bits=12``.
+
+Every subcommand accepts the shared engine options from
+:mod:`repro.cliopts` (``--jobs``, ``--cache-dir``, ``--no-cache``,
+``--seed``, ``--metrics-out``, ``--trace-out``); ``generate`` reuses the
+result cache's trace store, and ``--metrics-out``/``--trace-out`` dump
+the command's telemetry on exit.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.interference import measure_gshare_interference
+from repro.cliopts import engine_parent, write_observability_outputs
 from repro.predictors.base import BranchPredictor
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.interference_free import (
@@ -124,7 +131,19 @@ def _load_any(path: str):
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    trace = load_benchmark(args.benchmark, length=args.length, run_seed=args.seed)
+    trace = None
+    cache = None
+    if not args.no_cache:
+        from repro.analysis.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+        trace = cache.load_trace(args.benchmark, args.length, args.seed)
+    if trace is None:
+        trace = load_benchmark(
+            args.benchmark, length=args.length, run_seed=args.seed
+        )
+        if cache is not None:
+            cache.store_trace(args.benchmark, args.length, args.seed, trace)
     if str(args.output).endswith((".txt", ".trace")):
         write_text_trace(trace, args.output)
     else:
@@ -217,22 +236,28 @@ def _parser() -> argparse.ArgumentParser:
         prog="repro-tools", description="Branch-trace toolkit."
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    # Every subcommand carries the shared engine options (--jobs,
+    # --cache-dir, --no-cache, --seed, --metrics-out, --trace-out), so
+    # the same flag means the same thing everywhere.
+    engine = [engine_parent()]
 
     generate = subparsers.add_parser(
-        "generate", help="generate a benchmark trace to a .bpt file"
+        "generate", parents=engine,
+        help="generate a benchmark trace to a .bpt file",
     )
     generate.add_argument("benchmark", choices=BENCHMARK_NAMES)
     generate.add_argument("-o", "--output", required=True)
     generate.add_argument("--length", type=int, default=None)
-    generate.add_argument("--seed", type=int, default=12345)
     generate.set_defaults(func=_cmd_generate)
 
-    stats = subparsers.add_parser("stats", help="summarise a .bpt file")
+    stats = subparsers.add_parser(
+        "stats", parents=engine, help="summarise a .bpt file"
+    )
     stats.add_argument("trace")
     stats.set_defaults(func=_cmd_stats)
 
     simulate = subparsers.add_parser(
-        "simulate", help="run predictors over a .bpt file"
+        "simulate", parents=engine, help="run predictors over a .bpt file"
     )
     simulate.add_argument("trace")
     simulate.add_argument(
@@ -241,16 +266,11 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         help="predictor spec name[:key=value,...]; repeatable",
     )
-    simulate.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="simulate predictor specs in this many worker processes",
-    )
     simulate.set_defaults(func=_cmd_simulate)
 
     interference = subparsers.add_parser(
-        "interference", help="measure gshare PHT interference on a .bpt file"
+        "interference", parents=engine,
+        help="measure gshare PHT interference on a .bpt file",
     )
     interference.add_argument("trace")
     interference.add_argument("--history-bits", type=int, default=16)
@@ -258,7 +278,8 @@ def _parser() -> argparse.ArgumentParser:
     interference.set_defaults(func=_cmd_interference)
 
     check = subparsers.add_parser(
-        "check", help="run the static verification passes (repro.check)"
+        "check", parents=engine,
+        help="run the static verification passes (repro.check)",
     )
     check.add_argument(
         "passes", nargs="*", choices=["ir", "contracts", "lint"],
@@ -276,10 +297,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "predictor", "missing") is None:
         args.predictor = ["gshare", "pas:history_bits=6,bht_bits=12"]
     try:
-        return args.func(args)
+        code = args.func(args)
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    write_observability_outputs(args)
+    return code
 
 
 if __name__ == "__main__":

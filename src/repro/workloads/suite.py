@@ -330,16 +330,26 @@ def benchmark_spec(
 
 @lru_cache(maxsize=32)
 def _cached_trace(name: str, length: int, run_seed: int) -> Trace:
-    spec = benchmark_spec(name, length, run_seed)
-    program = build_program(spec.profile)
-    # Fail fast on a malformed program: a structurally unfaithful IR
-    # (bad layout, dead code, undefined conditions) would silently
-    # distort every trace and table downstream.  Raises
-    # ProgramVerificationError with the full diagnostic listing.
-    from repro.check.ir import verify_program_or_raise
+    from repro.obs.metrics import METRICS
+    from repro.obs.tracing import span
 
-    verify_program_or_raise(program, name=spec.name)
-    return execute_program(program, spec.length, spec.run_seed)
+    spec = benchmark_spec(name, length, run_seed)
+    with span(
+        "generate_trace", benchmark=name, length=length, run_seed=run_seed
+    ), METRICS.timer("trace.generate_seconds"):
+        program = build_program(spec.profile)
+        # Fail fast on a malformed program: a structurally unfaithful IR
+        # (bad layout, dead code, undefined conditions) would silently
+        # distort every trace and table downstream.  Raises
+        # ProgramVerificationError with the full diagnostic listing.
+        from repro.check.ir import verify_program_or_raise
+
+        verify_program_or_raise(program, name=spec.name)
+        METRICS.inc("check.ir_verifications")
+        trace = execute_program(program, spec.length, spec.run_seed)
+    METRICS.inc("trace.generated")
+    METRICS.inc("trace.events", len(trace))
+    return trace
 
 
 def load_benchmark(

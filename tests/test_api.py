@@ -1,0 +1,134 @@
+"""Tests for the public facade (repro.api) and package re-exports."""
+
+import pytest
+
+from repro.api import ReportRun, generate_suite, run_report
+
+
+class TestFacadeSurface:
+    def test_package_reexports(self):
+        import repro
+
+        assert repro.run_report is run_report
+        assert repro.ReportRun is ReportRun
+        for name in (
+            "Lab",
+            "LabConfig",
+            "build_labs",
+            "generate_suite",
+            "run_experiment",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_facade_matches_deep_paths(self):
+        # The facade re-exports; it does not fork the implementation.
+        import repro
+        from repro.analysis.config import LabConfig as DeepConfig
+        from repro.analysis.runner import Lab as DeepLab
+        from repro.experiments.base import build_labs as deep_build_labs
+        from repro.experiments.base import run_experiment as deep_run
+
+        assert repro.Lab is DeepLab
+        assert repro.LabConfig is DeepConfig
+        assert repro.build_labs is deep_build_labs
+        assert repro.run_experiment is deep_run
+
+    def test_generate_suite_returns_paper_benchmarks(self):
+        from repro.workloads.suite import BENCHMARK_NAMES
+
+        traces = generate_suite(max_length=2000)
+        assert sorted(traces) == sorted(BENCHMARK_NAMES)
+        assert all(len(trace) > 0 for trace in traces.values())
+
+
+class TestRunReport:
+    def test_unknown_experiment_raises_keyerror(self):
+        with pytest.raises(KeyError, match="fig99"):
+            run_report(["fig99"], max_length=2000, use_cache=False)
+
+    def test_single_experiment_run(self, tmp_path):
+        run = run_report(
+            ["table1"],
+            max_length=2000,
+            cache_dir=str(tmp_path / "c"),
+            jobs=1,
+        )
+        assert isinstance(run, ReportRun)
+        assert list(run.results) == ["table1"]
+        assert run.results["table1"].experiment_id == "table1"
+        assert len(run.labs) == 8
+        assert validate_clean(run.manifest)
+        assert run.metrics["counters"]["experiments.run"] == 1
+
+    def test_duplicates_run_once(self, tmp_path):
+        run = run_report(
+            ["table1", "table1"],
+            max_length=2000,
+            cache_dir=str(tmp_path / "c"),
+            jobs=1,
+        )
+        assert list(run.results) == ["table1"]
+        assert run.metrics["counters"]["experiments.run"] == 1
+
+    def test_echo_preserves_cli_progress_lines(self, tmp_path):
+        lines = []
+        run_report(
+            ["table1"],
+            max_length=2000,
+            cache_dir=str(tmp_path / "c"),
+            jobs=2,
+            echo=lines.append,
+        )
+        text = "\n".join(lines)
+        assert "building workload traces..." in text
+        assert "running table1..." in text
+        assert "jobs: 2" in text
+        assert "cache:" in text
+
+    def test_silent_without_echo(self, tmp_path, capsys):
+        run_report(
+            ["table1"], max_length=2000, cache_dir=str(tmp_path / "c"), jobs=1
+        )
+        captured = capsys.readouterr()
+        assert captured.out == ""
+
+    def test_no_cache_run_has_cache_disabled_manifest(self):
+        run = run_report(["table1"], max_length=2000, use_cache=False, jobs=1)
+        assert run.manifest["cache"]["enabled"] is False
+        assert run.manifest["cache"]["dir"] is None
+
+    def test_artifacts_written(self, tmp_path):
+        import json
+
+        manifest_path = tmp_path / "m.json"
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "spans.json"
+        json_path = tmp_path / "results.json"
+        run_report(
+            ["table1"],
+            max_length=2000,
+            cache_dir=str(tmp_path / "c"),
+            jobs=1,
+            manifest_out=str(manifest_path),
+            metrics_out=str(metrics_path),
+            trace_out=str(trace_path),
+            json_out=str(json_path),
+        )
+        manifest = json.loads(manifest_path.read_text())
+        assert validate_clean(manifest)
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["experiments.run"] == 1
+        spans = json.loads(trace_path.read_text())
+        names = {event["name"] for event in spans["traceEvents"]}
+        assert "report" in names
+        assert "build_labs" in names
+        results = json.loads(json_path.read_text())
+        assert results["table1"]["schema_version"] == 2
+
+
+def validate_clean(manifest):
+    from repro.obs.manifest import validate_manifest
+
+    errors = validate_manifest(manifest)
+    assert errors == [], errors
+    return True

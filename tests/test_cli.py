@@ -28,7 +28,9 @@ class TestCli:
 
 
 class TestEngineFlags:
-    def test_report_is_alias_for_all(self, capsys, tmp_path):
+    def test_report_is_alias_for_all(self, capsys, tmp_path, monkeypatch):
+        # report/all write run_manifest.json into the cwd by default.
+        monkeypatch.chdir(tmp_path)
         assert main(
             ["report", "--max-length", "2000",
              "--cache-dir", str(tmp_path / "c")]
@@ -36,6 +38,7 @@ class TestEngineFlags:
         out = capsys.readouterr().out
         assert "running table1" in out
         assert "running fig9" in out
+        assert (tmp_path / "run_manifest.json").is_file()
 
     def test_no_cache_bypasses_disk(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
@@ -65,6 +68,65 @@ class TestEngineFlags:
         assert "jobs: 2" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def test_metrics_out_writes_snapshot(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["table1", "--max-length", "2000", "--no-cache",
+             "--metrics-out", str(metrics_path)]
+        ) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["counters"]["experiments.run"] == 1
+        assert "sim.simulations" in payload["counters"]
+
+    def test_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "spans.json"
+        assert main(
+            ["table1", "--max-length", "2000", "--no-cache",
+             "--trace-out", str(trace_path)]
+        ) == 0
+        payload = json.loads(trace_path.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "report" in names and "simulate" in names
+
+    def test_manifest_out_for_single_experiment(self, capsys, tmp_path):
+        from repro.obs.manifest import read_manifest
+
+        manifest_path = tmp_path / "m.json"
+        assert main(
+            ["table2", "--max-length", "2000",
+             "--cache-dir", str(tmp_path / "c"),
+             "--manifest-out", str(manifest_path)]
+        ) == 0
+        manifest = read_manifest(str(manifest_path))
+        assert [entry["id"] for entry in manifest["experiments"]] == ["table2"]
+
+    def test_single_experiment_writes_no_default_manifest(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["table1", "--max-length", "2000", "--no-cache"]) == 0
+        assert not (tmp_path / "run_manifest.json").exists()
+
+    def test_obs_show_round_trips_report_manifest(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["report", "--max-length", "2000",
+             "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "show", "run_manifest.json"]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest (schema v1" in out
+        assert "fig9" in out
+
+
 class TestCacheSubcommand:
     def test_stats_and_clear(self, capsys, tmp_path):
         cache_dir = tmp_path / "c"
@@ -84,3 +146,20 @@ class TestCacheSubcommand:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envc"))
         assert main(["cache", "stats"]) == 0
         assert str(tmp_path / "envc") in capsys.readouterr().out
+
+    def test_stats_on_missing_dir_is_zero_and_clean(self, capsys, tmp_path):
+        # Regression: a fresh checkout has no cache directory; stats
+        # must report an empty cache, exit 0, and not create the dir.
+        missing = tmp_path / "never-created"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+        assert "size: 0.00 MB" in out
+        assert not missing.exists()
+
+    def test_stats_on_file_root_is_zero(self, capsys, tmp_path):
+        # A plain file where the cache dir should be must not crash.
+        bogus = tmp_path / "file-not-dir"
+        bogus.write_text("not a cache")
+        assert main(["cache", "stats", "--cache-dir", str(bogus)]) == 0
+        assert "entries: 0" in capsys.readouterr().out

@@ -1,0 +1,208 @@
+"""Tests for run manifests (repro.obs.manifest) and the obs CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.config import LabConfig
+from repro.obs.manifest import (
+    MANIFEST_KIND,
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    config_digest,
+    diff_manifests,
+    read_manifest,
+    summarize_manifest,
+    validate_manifest,
+    write_manifest,
+)
+
+
+class FakeTrace:
+    def __init__(self, digest, length):
+        self._digest = digest
+        self._length = length
+
+    def digest(self):
+        return self._digest
+
+    def __len__(self):
+        return self._length
+
+
+class FakeLab:
+    def __init__(self, digest, length):
+        self.trace = FakeTrace(digest, length)
+
+
+class FakeResult:
+    def __init__(self, experiment_id, title, value):
+        self.experiment_id = experiment_id
+        self.title = title
+        self.value = value
+
+    def to_json(self, indent=None):
+        return json.dumps(
+            {"experiment_id": self.experiment_id, "value": self.value},
+            sort_keys=True,
+        )
+
+
+def make_manifest(value=1.0, seed=12345):
+    return build_manifest(
+        command=["repro", "report"],
+        config=LabConfig(),
+        run_seed=seed,
+        max_length=2000,
+        jobs=2,
+        cache_enabled=True,
+        cache_dir=".repro-cache",
+        labs={"gcc": FakeLab("abc123", 2000)},
+        results={"table1": FakeResult("table1", "Table 1", value)},
+        experiment_timings=[{"id": "table1", "seconds": 0.5}],
+        metrics={
+            "counters": {
+                "cache.bitmap.hits": 3,
+                "cache.bitmap.misses": 1,
+                "cache.corr.hits": 1,
+                "sim.simulations": 1,
+            },
+            "gauges": {"parallel.workers": 2},
+            "timers": {},
+        },
+        timings={"total_seconds": 1.25},
+    )
+
+
+class TestBuildManifest:
+    def test_manifest_validates_clean(self):
+        assert validate_manifest(make_manifest()) == []
+
+    def test_identity_fields(self):
+        manifest = make_manifest()
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["kind"] == MANIFEST_KIND
+        assert manifest["config_digest"] == config_digest(LabConfig())
+        assert manifest["traces"]["gcc"] == {"digest": "abc123", "length": 2000}
+
+    def test_cache_section_aggregates_result_layer(self):
+        cache = make_manifest()["cache"]
+        # bitmap 3 hits + corr 1 hit over 5 result-layer probes.
+        assert cache["result_hits"] == 4
+        assert cache["result_misses"] == 1
+        assert cache["hit_ratio"] == pytest.approx(0.8)
+
+    def test_hit_ratio_none_when_nothing_probed(self):
+        manifest = build_manifest(
+            command=None,
+            config=LabConfig(),
+            run_seed=1,
+            max_length=None,
+            jobs=1,
+            cache_enabled=False,
+            cache_dir=None,
+            labs={},
+            results={},
+            experiment_timings=[],
+            metrics={"counters": {}, "gauges": {}, "timers": {}},
+            timings={},
+        )
+        assert manifest["cache"]["hit_ratio"] is None
+        assert validate_manifest(manifest) == []
+
+    def test_manifest_is_json_round_trippable(self, tmp_path):
+        manifest = make_manifest()
+        path = tmp_path / "run_manifest.json"
+        write_manifest(manifest, str(path))
+        assert read_manifest(str(path)) == json.loads(json.dumps(manifest))
+
+
+class TestValidateManifest:
+    def test_rejects_non_object(self):
+        assert validate_manifest([1, 2]) == ["manifest: not a JSON object"]
+
+    def test_reports_missing_and_mistyped_fields(self):
+        manifest = make_manifest()
+        del manifest["run_seed"]
+        manifest["jobs"] = "two"
+        errors = validate_manifest(manifest)
+        assert any("missing field 'run_seed'" in e for e in errors)
+        assert any("'jobs'" in e and "expected int" in e for e in errors)
+
+    def test_rejects_wrong_kind_and_version(self):
+        manifest = make_manifest()
+        manifest["kind"] = "something.else"
+        manifest["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        errors = validate_manifest(manifest)
+        assert any("kind" in e for e in errors)
+        assert any("schema_version" in e for e in errors)
+
+    def test_read_manifest_raises_on_invalid(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            read_manifest(str(path))
+
+
+class TestDiffManifests:
+    def test_equivalent_runs_diff_clean(self):
+        first, second = make_manifest(), make_manifest()
+        # Timings and timestamps are expected to differ.
+        second["created_unix"] += 100.0
+        second["timings"]["total_seconds"] = 9.9
+        second["experiments"][0]["seconds"] = 9.9
+        assert diff_manifests(first, second) == []
+
+    def test_result_drift_is_reported(self):
+        differences = diff_manifests(make_manifest(1.0), make_manifest(2.0))
+        assert len(differences) == 1
+        assert "experiments[table1].result_digest" in differences[0]
+
+    def test_seed_drift_is_reported(self):
+        differences = diff_manifests(
+            make_manifest(seed=1), make_manifest(seed=2)
+        )
+        assert any(d.startswith("run_seed:") for d in differences)
+
+
+class TestObsCli:
+    def _write(self, tmp_path, name="m.json", **kwargs):
+        path = tmp_path / name
+        write_manifest(make_manifest(**kwargs), str(path))
+        return str(path)
+
+    def test_show_valid_manifest(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        assert main(["show", self._write(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest (schema v1" in out
+        assert "table1" in out
+
+    def test_validate_invalid_exits_1(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main(["validate", str(path)]) == 1
+        assert "missing field" in capsys.readouterr().err
+
+    def test_diff_exit_codes(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        same_a = self._write(tmp_path, "a.json", value=1.0)
+        same_b = self._write(tmp_path, "b.json", value=1.0)
+        other = self._write(tmp_path, "c.json", value=2.0)
+        assert main(["diff", same_a, same_b]) == 0
+        assert main(["diff", same_a, other]) == 1
+
+    def test_missing_file_exits_1(self, capsys):
+        from repro.obs.cli import main
+
+        assert main(["show", "/nonexistent/m.json"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_summarize_mentions_disabled_cache(self):
+        manifest = make_manifest()
+        manifest["cache"]["enabled"] = False
+        assert "cache:       disabled" in summarize_manifest(manifest)

@@ -1,0 +1,140 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import threading
+
+from repro.obs.metrics import METRICS, Metrics
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        m = Metrics()
+        m.inc("a")
+        m.inc("a", 4)
+        assert m.counter("a") == 5
+        assert m.counter("never") == 0
+
+    def test_gauge_last_write_wins(self):
+        m = Metrics()
+        m.gauge("workers", 2)
+        m.gauge("workers", 8)
+        assert m.snapshot()["gauges"] == {"workers": 8}
+
+    def test_timer_context_manager_accumulates(self):
+        m = Metrics()
+        with m.timer("t"):
+            pass
+        with m.timer("t"):
+            pass
+        entry = m.snapshot()["timers"]["t"]
+        assert entry["count"] == 2
+        assert entry["seconds"] >= 0.0
+
+    def test_add_time_external_duration(self):
+        m = Metrics()
+        m.add_time("t", 1.5)
+        m.add_time("t", 0.5, count=3)
+        entry = m.snapshot()["timers"]["t"]
+        assert entry["count"] == 4
+        assert entry["seconds"] == 2.0
+
+
+class TestSnapshotDelta:
+    def test_snapshot_is_plain_and_sorted(self):
+        m = Metrics()
+        m.inc("z")
+        m.inc("a")
+        snap = m.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert set(snap) == {"counters", "gauges", "timers"}
+
+    def test_snapshot_is_a_copy(self):
+        m = Metrics()
+        m.inc("a")
+        snap = m.snapshot()
+        snap["counters"]["a"] = 999
+        assert m.counter("a") == 1
+
+    def test_delta_since_subtracts_counters_and_timers(self):
+        m = Metrics()
+        m.inc("a", 3)
+        m.add_time("t", 1.0)
+        base = m.snapshot()
+        m.inc("a", 2)
+        m.inc("b")
+        m.add_time("t", 0.25)
+        delta = m.delta_since(base)
+        assert delta["counters"] == {"a": 2, "b": 1}
+        assert delta["timers"]["t"]["count"] == 1
+        assert abs(delta["timers"]["t"]["seconds"] - 0.25) < 1e-9
+
+    def test_delta_drops_zero_counters(self):
+        m = Metrics()
+        m.inc("quiet", 7)
+        base = m.snapshot()
+        delta = m.delta_since(base)
+        assert delta["counters"] == {}
+        assert delta["timers"] == {}
+
+    def test_delta_reports_current_gauges(self):
+        m = Metrics()
+        m.gauge("level", 1)
+        base = m.snapshot()
+        m.gauge("level", 5)
+        assert m.delta_since(base)["gauges"] == {"level": 5}
+
+
+class TestMergeReset:
+    def test_merge_adds_counters_and_timers(self):
+        parent = Metrics()
+        parent.inc("a", 1)
+        worker = Metrics()
+        worker.inc("a", 2)
+        worker.inc("b", 3)
+        worker.add_time("t", 0.5)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"] == {"a": 3, "b": 3}
+        assert snap["timers"]["t"] == {"count": 1, "seconds": 0.5}
+
+    def test_merge_order_does_not_matter_for_counters(self):
+        deltas = []
+        for value in (1, 2, 3):
+            w = Metrics()
+            w.inc("n", value)
+            deltas.append(w.snapshot())
+        forward, backward = Metrics(), Metrics()
+        for d in deltas:
+            forward.merge(d)
+        for d in reversed(deltas):
+            backward.merge(d)
+        assert forward.snapshot()["counters"] == backward.snapshot()["counters"]
+
+    def test_reset_zeroes_everything(self):
+        m = Metrics()
+        m.inc("a")
+        m.gauge("g", 1)
+        m.add_time("t", 1.0)
+        m.reset()
+        assert m.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+
+    def test_thread_safety_of_inc(self):
+        m = Metrics()
+
+        def bump():
+            for _ in range(1000):
+                m.inc("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("n") == 4000
+
+
+class TestGlobalRegistry:
+    def test_global_registry_exists_and_counts(self):
+        base = METRICS.snapshot()
+        METRICS.inc("test.obs_metrics.probe")
+        delta = METRICS.delta_since(base)
+        assert delta["counters"]["test.obs_metrics.probe"] == 1

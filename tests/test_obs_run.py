@@ -1,0 +1,120 @@
+"""Integration: observability of whole report runs.
+
+The acceptance bar for the observability layer:
+
+* work-unit counters (``sim.simulations``, ``sim.correlation_collections``)
+  and result-layer cache counters agree between ``jobs=1`` and ``jobs=4``
+  -- worker metric deltas folded in the parent sum to exactly what a
+  single process counts;
+* experiment results are bit-identical across worker counts and across
+  cold/warm cache runs -- instrumentation observes, never perturbs;
+* every run manifest validates against the schema, and manifests of
+  equivalent runs diff clean on their deterministic sections.
+"""
+
+import pytest
+
+from repro.api import run_report
+from repro.obs.manifest import diff_manifests, validate_manifest
+
+EXPERIMENTS = ["table1", "fig6"]
+MAX_LENGTH = 2000
+
+#: Counters that must agree exactly between worker counts.  The
+#: trace-layer cache counters are deliberately absent: workers re-read
+#: the shared trace entry per task, so trace hits legitimately scale
+#: with the schedule (see docs/observability.md).
+CONSISTENT_COUNTERS = (
+    "sim.simulations",
+    "sim.correlation_collections",
+    "sim.kernel_fastpath",
+    "cache.bitmap.hits",
+    "cache.bitmap.misses",
+    "cache.bitmap.writes",
+    "cache.corr.hits",
+    "cache.corr.misses",
+    "cache.corr.writes",
+    "experiments.run",
+)
+
+
+@pytest.fixture(scope="module")
+def serial_run(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("serial-cache")
+    return run_report(
+        EXPERIMENTS, max_length=MAX_LENGTH, jobs=1, cache_dir=str(cache_dir)
+    )
+
+
+@pytest.fixture(scope="module")
+def parallel_cache(tmp_path_factory):
+    return tmp_path_factory.mktemp("parallel-cache")
+
+
+@pytest.fixture(scope="module")
+def parallel_run(parallel_cache):
+    return run_report(
+        EXPERIMENTS,
+        max_length=MAX_LENGTH,
+        jobs=4,
+        cache_dir=str(parallel_cache),
+    )
+
+
+class TestCrossProcessConsistency:
+    def test_work_and_cache_counters_match(self, serial_run, parallel_run):
+        serial = serial_run.metrics["counters"]
+        parallel = parallel_run.metrics["counters"]
+        for name in CONSISTENT_COUNTERS:
+            assert serial.get(name, 0) == parallel.get(name, 0), name
+
+    def test_simulations_actually_happened(self, serial_run):
+        counters = serial_run.metrics["counters"]
+        assert counters["sim.simulations"] > 0
+        assert counters["sim.correlation_collections"] == 8
+
+    def test_parallel_run_used_workers(self, parallel_run):
+        assert parallel_run.metrics["gauges"]["parallel.workers"] == 4
+        assert parallel_run.metrics["counters"]["parallel.jobs_executed"] > 0
+        assert "parallel.job_seconds" in parallel_run.metrics["timers"]
+
+    def test_results_bit_identical_across_worker_counts(
+        self, serial_run, parallel_run
+    ):
+        for experiment_id in EXPERIMENTS:
+            assert (
+                serial_run.results[experiment_id].to_json()
+                == parallel_run.results[experiment_id].to_json()
+            )
+
+    def test_manifests_validate_and_diff_clean(self, serial_run, parallel_run):
+        assert validate_manifest(serial_run.manifest) == []
+        assert validate_manifest(parallel_run.manifest) == []
+        assert diff_manifests(serial_run.manifest, parallel_run.manifest) == []
+
+
+class TestWarmCache:
+    def test_warm_run_is_pure_hits_and_identical(
+        self, parallel_run, parallel_cache
+    ):
+        warm = run_report(
+            EXPERIMENTS,
+            max_length=MAX_LENGTH,
+            jobs=4,
+            cache_dir=str(parallel_cache),
+        )
+        cache = warm.manifest["cache"]
+        assert cache["result_misses"] == 0
+        assert cache["result_hits"] > 0
+        assert cache["hit_ratio"] == 1.0
+        counters = warm.metrics["counters"]
+        # Nothing was recomputed...
+        assert counters.get("sim.simulations", 0) == 0
+        assert counters.get("sim.correlation_collections", 0) == 0
+        # ...and the outputs did not move.
+        for experiment_id in EXPERIMENTS:
+            assert (
+                warm.results[experiment_id].to_json()
+                == parallel_run.results[experiment_id].to_json()
+            )
+        assert diff_manifests(parallel_run.manifest, warm.manifest) == []

@@ -1,0 +1,97 @@
+"""Tests for span tracing (repro.obs.tracing)."""
+
+import json
+
+from repro.obs.tracing import Tracer
+
+
+class TestSpanTree:
+    def test_spans_nest_into_children(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        assert outer.children == [inner]
+        assert inner.children == []
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        (root,) = tracer.roots
+        assert [child.name for child in root.children] == ["a", "b"]
+
+    def test_span_records_attrs_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work", predictor="gshare", n=3) as node:
+            pass
+        assert node.attrs == {"predictor": "gshare", "n": 3}
+        assert node.duration >= 0.0
+        assert node.start >= 0.0
+
+    def test_span_closed_even_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        # The next span must be a new root, not a child of "fails".
+        with tracer.span("after"):
+            pass
+        assert [root.name for root in tracer.roots] == ["fails", "after"]
+
+    def test_reset_drops_spans(self):
+        tracer = Tracer()
+        with tracer.span("old"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.chrome_events() == []
+
+
+class TestChromeExport:
+    def test_events_flatten_whole_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        events = tracer.chrome_events()
+        assert [event["name"] for event in events] == ["outer", "inner"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert isinstance(event["pid"], int)
+
+    def test_child_event_names_its_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer_event, inner_event = tracer.chrome_events()
+        assert "parent" not in outer_event["args"]
+        assert inner_event["args"]["parent"] == "outer"
+
+    def test_foreign_worker_events_are_appended(self):
+        tracer = Tracer()
+        foreign = [{"name": "job", "ph": "X", "ts": 0, "dur": 1,
+                    "pid": 999, "tid": 1, "args": {}}]
+        tracer.add_events(foreign)
+        events = tracer.chrome_events()
+        assert events[-1]["pid"] == 999
+
+    def test_write_emits_trace_events_envelope(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("run", seed=1):
+            pass
+        path = tmp_path / "spans.json"
+        tracer.write(str(path))
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert payload["traceEvents"][0]["name"] == "run"
+        assert payload["displayTimeUnit"] == "ms"

@@ -88,3 +88,39 @@ class TestJsonExport:
     def test_unknown_type_rejected(self):
         with pytest.raises(TypeError):
             to_jsonable(object())
+
+
+class TestSerializationContract:
+    @pytest.fixture(scope="class")
+    def result(self):
+        labs = {
+            "gcc": Lab(load_benchmark("gcc", length=3000, run_seed=19)),
+        }
+        return run_experiment("table2", labs)
+
+    def test_to_dict_is_schema_versioned(self, result):
+        from repro.experiments.base import RESULT_SCHEMA_VERSION
+
+        payload = result.to_dict()
+        assert payload["schema_version"] == RESULT_SCHEMA_VERSION
+        assert payload["experiment_id"] == "table2"
+        assert payload["title"] == result.title
+
+    def test_to_dict_is_superset_of_legacy_layout(self, result):
+        # Version-1 readers index the flat field keys; version 2 must
+        # keep every one of them with identical values.
+        legacy = to_jsonable(result)
+        modern = result.to_dict()
+        for key, value in legacy.items():
+            assert modern[key] == value
+
+    def test_to_json_is_deterministic(self, result):
+        text = result.to_json()
+        assert text == result.to_json()
+        assert json.loads(text)["experiment_id"] == "table2"
+
+    def test_export_uses_versioned_contract(self, result, tmp_path):
+        path = tmp_path / "out.json"
+        export_results({"table2": result}, str(path))
+        data = json.loads(path.read_text())
+        assert data["table2"]["schema_version"] == 2
