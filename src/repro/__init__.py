@@ -22,13 +22,15 @@ Public API highlights:
 * :mod:`repro.experiments` -- one module per paper table/figure.
 * :mod:`repro.obs` -- run-level observability (metrics, span tracing,
   run manifests).
+* :mod:`repro.resilience` -- fault-tolerant execution (retries,
+  checkpoint/resume journal, deterministic fault injection).
 * :mod:`repro.api` -- the stable facade; start here::
 
       from repro import run_report          # or: from repro.api import run_report
       run = run_report(["table2"], max_length=20_000)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.trace import Trace, TraceBuilder, read_trace, write_trace
 from repro.workloads import BENCHMARK_NAMES, load_benchmark, load_suite

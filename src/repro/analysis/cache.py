@@ -19,6 +19,13 @@ Writes are atomic (temp file + ``os.replace``) so concurrent workers can
 share one cache directory; any load failure -- missing file, truncation,
 schema drift -- counts as a miss and never propagates.
 
+A *corrupt* entry (present but unreadable or undecodable) is not just a
+miss: it is moved into ``<root>/quarantine/`` so the bad bytes are
+preserved for inspection, can never be loaded again, and the recompute
+that follows overwrites a clean entry at the original path.  Quarantine
+events are counted (``cache.quarantined``) and surfaced by ``repro
+cache stats``; ``repro cache clear`` reclaims the quarantine too.
+
 Invalidation is purely structural: bump :data:`SCHEMA_VERSION` when the
 serialised layout or any simulation semantics change, and
 :data:`WORKLOAD_SCHEMA` when the workload generator's output changes for
@@ -56,6 +63,9 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIRNAME = ".repro-cache"
 
+#: Subdirectory of the cache root holding quarantined corrupt entries.
+QUARANTINE_DIRNAME = "quarantine"
+
 
 def result_key(task: str, config: object) -> str:
     """Canonical cache-key string for a Lab task under a configuration.
@@ -83,18 +93,23 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     errors: int = 0
+    quarantined: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
         self.writes += other.writes
         self.errors += other.errors
+        self.quarantined += other.quarantined
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.hits} hits, {self.misses} misses, "
             f"{self.writes} writes, {self.errors} errors"
         )
+        if self.quarantined:
+            text += f", {self.quarantined} quarantined"
+        return text
 
 
 class ResultCache:
@@ -122,6 +137,19 @@ class ResultCache:
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / key[:2] / f"{key}.npz"
 
+    def entry_path(self, kind: str, key: str) -> Path:
+        """The on-disk path an entry of ``kind`` under ``key`` lives at.
+
+        Public so tooling (fault injection, forensic scripts) can reach
+        a specific entry without re-deriving the sharding scheme.
+        """
+        return self._path(kind, key)
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved (``<root>/quarantine``)."""
+        return self.root / QUARANTINE_DIRNAME
+
     def _record_miss(self, kind: str, error: bool = False) -> None:
         """Count a miss (and optionally an error) per entry kind."""
         self.stats.misses += 1
@@ -134,8 +162,28 @@ class ResultCache:
         self.stats.hits += 1
         METRICS.inc(f"cache.{kind}.hits")
 
+    def _quarantine(self, path: Path, kind: str) -> None:
+        """Move a corrupt entry aside so it is never loaded again.
+
+        The move is atomic (same filesystem), preserves the bytes for
+        inspection, and frees the original path for the clean rewrite
+        that follows the recompute.  Counted as a miss *and* a
+        quarantine; a failed move falls back to the old
+        miss-with-error behaviour (the entry stays, the caller still
+        recomputes and overwrites it).
+        """
+        self._record_miss(kind, error=True)
+        try:
+            target_dir = self.quarantine_dir
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / f"{kind}-{path.name}")
+        except OSError:
+            return
+        self.stats.quarantined += 1
+        METRICS.inc("cache.quarantined")
+
     def _load(self, path: Path, kind: str) -> Optional[dict]:
-        """Load an npz entry; any failure is a recorded miss."""
+        """Load an npz entry; a corrupt one is quarantined, not kept."""
         try:
             with np.load(path) as payload:
                 return {name: payload[name] for name in payload.files}
@@ -143,9 +191,9 @@ class ResultCache:
             self._record_miss(kind)
             return None
         except Exception:
-            # Truncated/corrupted/foreign file: treat as a miss so the
-            # caller recomputes (and overwrites the bad entry).
-            self._record_miss(kind, error=True)
+            # Truncated/corrupted/foreign file: quarantine it so the
+            # caller recomputes and writes a clean entry in its place.
+            self._quarantine(path, kind)
             return None
 
     def _store(self, path: Path, kind: str, **arrays: np.ndarray) -> None:
@@ -185,17 +233,15 @@ class ResultCache:
         self, trace_digest: str, result_key: str
     ) -> Optional[np.ndarray]:
         """A cached correctness bitmap, or None on miss."""
-        payload = self._load(
-            self._path("bitmap", self.bitmap_key(trace_digest, result_key)),
-            "bitmap",
-        )
+        path = self._path("bitmap", self.bitmap_key(trace_digest, result_key))
+        payload = self._load(path, "bitmap")
         if payload is None:
             return None
         try:
             length = int(payload["length"])
             bitmap = np.unpackbits(payload["packed"], count=length).astype(bool)
         except Exception:
-            self._record_miss("bitmap", error=True)
+            self._quarantine(path, "bitmap")
             return None
         self._record_hit("bitmap")
         return bitmap
@@ -221,16 +267,14 @@ class ResultCache:
         self, trace_digest: str, window: int
     ) -> Optional[CorrelationData]:
         """Cached tagged-correlation observations, or None on miss."""
-        payload = self._load(
-            self._path("corr", self.correlation_key(trace_digest, window)),
-            "corr",
-        )
+        path = self._path("corr", self.correlation_key(trace_digest, window))
+        payload = self._load(path, "corr")
         if payload is None:
             return None
         try:
             data = _correlation_from_arrays(payload)
         except Exception:
-            self._record_miss("corr", error=True)
+            self._quarantine(path, "corr")
             return None
         self._record_hit("corr")
         return data
@@ -258,10 +302,8 @@ class ResultCache:
         self, name: str, length: Optional[int], run_seed: int
     ) -> Optional[Trace]:
         """A cached generated benchmark trace, or None on miss."""
-        payload = self._load(
-            self._path("trace", self.trace_key(name, length, run_seed)),
-            "trace",
-        )
+        path = self._path("trace", self.trace_key(name, length, run_seed))
+        payload = self._load(path, "trace")
         if payload is None:
             return None
         try:
@@ -272,7 +314,7 @@ class ResultCache:
                 np.unpackbits(payload["taken"], count=count).astype(bool),
             )
         except Exception:
-            self._record_miss("trace", error=True)
+            self._quarantine(path, "trace")
             return None
         self._record_hit("trace")
         return trace
@@ -301,8 +343,25 @@ class ResultCache:
         except OSError:
             return
         for kind_dir in kind_dirs:
+            if kind_dir.name == QUARANTINE_DIRNAME:
+                continue
             if kind_dir.is_dir():
                 yield from sorted(kind_dir.glob("*/*.npz"))
+
+    def quarantined_entries(self):
+        """Paths of quarantined corrupt entries, sorted."""
+        try:
+            if not self.quarantine_dir.is_dir():
+                return []
+            return sorted(
+                path for path in self.quarantine_dir.iterdir()
+                if path.is_file()
+            )
+        except OSError:
+            return []
+
+    def quarantine_count(self) -> int:
+        return len(self.quarantined_entries())
 
     def entry_count(self) -> int:
         return sum(1 for _ in self._entries())
@@ -319,9 +378,10 @@ class ResultCache:
         return total
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (quarantine included); returns the
+        number removed."""
         removed = 0
-        for path in list(self._entries()):
+        for path in list(self._entries()) + self.quarantined_entries():
             try:
                 path.unlink()
                 removed += 1

@@ -1,4 +1,4 @@
-"""Parallel simulation scheduler.
+"""Parallel simulation scheduler with fault-tolerant supervision.
 
 A full report simulates seven predictors plus the best-of-32 fixed
 pattern sweep and the tagged-correlation collection over eight benchmark
@@ -14,6 +14,23 @@ inputs (a per-process LRU plus the shared disk cache make this cheap)
 and the parent verifies the returned trace digest before folding, so
 completion order and worker scheduling cannot change any result.
 
+Resilience: the parent runs a supervisor loop rather than a bare
+``as_completed``.  A failing attempt (worker exception, injected
+crash, lost worker, wall-clock timeout) is retried with deterministic
+capped backoff up to the :class:`~repro.resilience.RetryPolicy`'s
+attempt budget; a timed-out or broken pool is killed and rebuilt, with
+innocent in-flight jobs resubmitted at their *current* attempt number.
+A task that exhausts its budget becomes a structured
+:class:`~repro.resilience.TaskFailure` -- the run continues and the
+lab computes that task lazily in-process if an experiment needs it.
+``KeyboardInterrupt``/``SIGTERM`` tear the pool down cleanly (cancel
+pending futures, terminate workers) instead of leaking it.  The
+:class:`~repro.resilience.FaultInjector` hooks the same machinery so
+crashes, hangs and cache corruption are reproducible in tests: the
+same fault spec yields the same attempt sequence -- and identical
+folded results and resilience counters -- for ``--jobs 1`` and
+``--jobs 4``.
+
 Observability crosses the process boundary the same way the results do:
 each worker resets its per-process :data:`repro.obs.METRICS` registry
 and :data:`repro.obs.TRACER` per job, and ships the metric delta plus
@@ -21,19 +38,23 @@ its span events back alongside the result; the parent folds both in the
 same deterministic (sorted-benchmark, task-order) sequence it folds
 bitmaps, so aggregated counters are independent of completion order and
 ``sum(worker deltas) == single-process counters`` for every work-unit
-counter.
+counter.  (A crashed attempt's delta dies with it; only successful
+attempts are folded, identically in serial and parallel runs.)
 
 Worker count comes from ``--jobs``, the :data:`ENV_JOBS` environment
 variable, or ``os.cpu_count()``; ``jobs <= 1`` short-circuits to the
-plain in-process path with no executor, no pickling and no subprocesses.
+plain in-process path with no executor, no pickling and no subprocesses
+-- but the same retry/fault semantics.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, Optional, Sequence, Tuple
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.cache import ResultCache, result_key
 from repro.analysis.config import LabConfig
@@ -42,6 +63,13 @@ from repro.correlation.tagging import collect_correlation_data
 from repro.obs.metrics import METRICS
 from repro.obs.tracing import TRACER, span
 from repro.predictors.pattern import best_fixed_length_correct
+from repro.resilience.faults import (
+    HANG_SECONDS,
+    FaultInjector,
+    FaultSpecError,
+    InjectedCrash,
+)
+from repro.resilience.retry import RetryPolicy, TaskFailure, TaskTimeout
 from repro.trace.trace import Trace
 
 #: Environment variable overriding the worker count.
@@ -49,6 +77,9 @@ ENV_JOBS = "REPRO_JOBS"
 
 #: Pseudo-task name for the tagged-correlation collection.
 CORRELATION_TASK = "correlation"
+
+#: Supervisor poll interval while futures are in flight (seconds).
+_TICK = 0.05
 
 #: Tasks a full report needs, in deterministic fold order.
 DEFAULT_TASKS: Tuple[str, ...] = (
@@ -119,17 +150,52 @@ def compute_task(trace: Trace, config: LabConfig, task: str):
         return factory().simulate(trace)
 
 
+def _corrupt_result_entry(
+    cache: ResultCache, digest: str, task: str, config: LabConfig
+) -> None:
+    """Truncate the cache entry a task just wrote (injected 'corrupt').
+
+    The in-memory result is untouched -- the fault surfaces only on a
+    later run's cache load, which the quarantine path must turn into a
+    clean recompute.
+    """
+    if task == CORRELATION_TASK:
+        key = cache.correlation_key(digest, config.collection_window)
+        kind = "corr"
+    else:
+        key = cache.bitmap_key(digest, result_key(task, config))
+        kind = "bitmap"
+    path = cache.entry_path(kind, key)
+    try:
+        with open(path, "r+b") as fh:
+            fh.truncate(8)
+    except OSError:
+        pass
+
+
 def _run_task(job: tuple):
-    """Execute one ``(benchmark, task)`` job in a worker process.
+    """Execute one ``(benchmark, task)`` attempt in a worker process.
 
     Module-level so it pickles; regenerates the trace from the job spec
     (per-process LRU in ``load_benchmark`` plus the shared disk cache
     keep this a one-time cost per worker per benchmark).  Returns the
     job's metric delta and span events alongside the result so the
     parent can fold telemetry deterministically.
+
+    ``fault_kinds`` is the pre-matched tuple of injected faults for
+    exactly this attempt (the parent does the matching and counting, so
+    an attempt that dies cannot lose the accounting).
     """
-    name, length, run_seed, config, task, cache_root, _window = job
+    (
+        name, length, run_seed, config, task, cache_root, _window,
+        fault_kinds,
+    ) = job
     from repro.workloads.suite import load_benchmark
+
+    if "crash" in fault_kinds:
+        raise InjectedCrash(f"injected crash: {name}/{task}")
+    if "hang" in fault_kinds:
+        time.sleep(HANG_SECONDS)
 
     METRICS.reset()
     TRACER.reset()
@@ -148,11 +214,242 @@ def _run_task(job: tuple):
                 cache.store_correlation(digest, result)
             else:
                 cache.store_bitmap(digest, result_key(task, config), result)
+            if "corrupt" in fault_kinds:
+                _corrupt_result_entry(cache, digest, task, config)
     duration = time.perf_counter() - start
     return (
         name, task, digest, result,
         METRICS.snapshot(), TRACER.chrome_events(), duration,
     )
+
+
+def _count_injected(kinds: Sequence[str]) -> None:
+    """Parent-side accounting of faults scheduled for an attempt."""
+    for kind in kinds:
+        METRICS.inc(f"resilience.faults.{kind}")
+        METRICS.inc("resilience.faults_injected")
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool = False) -> None:
+    """Shut a pool down without waiting on stuck workers.
+
+    ``kill`` additionally terminates the worker processes -- the only
+    way to reclaim a hung worker.  Reaches into the executor's process
+    table (CPython 3.9-3.13 keep it at ``_processes``); absent that
+    attribute the shutdown still cancels everything queued.
+    """
+    if kill:
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+class _Supervisor:
+    """Drives one parallel priming pass: submit, retry, kill, rebuild."""
+
+    def __init__(
+        self,
+        jobs: int,
+        specs: Dict[Tuple[str, str], tuple],
+        order: Sequence[Tuple[str, str]],
+        policy: RetryPolicy,
+        injector: Optional[FaultInjector],
+    ) -> None:
+        self.jobs = jobs
+        self.specs = specs
+        self.policy = policy
+        self.injector = injector
+        self.ready = deque((key, 1) for key in order)
+        self.waiting: List[Tuple[float, int, Tuple[str, str], int]] = []
+        self.active: Dict[object, Tuple[Tuple[str, str], int, Optional[float]]] = {}
+        self.results: Dict[Tuple[str, str], tuple] = {}
+        self.failures: List[TaskFailure] = []
+        self._seq = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _pool_handle(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _rebuild_pool(self) -> None:
+        if self._pool is not None:
+            _shutdown_pool(self._pool, kill=True)
+            self._pool = None
+        METRICS.inc("parallel.pool_rebuilds")
+
+    def shutdown(self, kill: bool = False) -> None:
+        if self._pool is not None:
+            _shutdown_pool(self._pool, kill=kill)
+            self._pool = None
+
+    # -- scheduling --------------------------------------------------------
+
+    def _spec_with_faults(self, key: Tuple[str, str], attempt: int) -> tuple:
+        name, task = key
+        kinds: Tuple[str, ...] = ()
+        if self.injector is not None:
+            kinds = self.injector.kinds(name, task, attempt)
+            _count_injected(kinds)
+        return self.specs[key] + (kinds,)
+
+    def _submit(self, key: Tuple[str, str], attempt: int) -> None:
+        spec = self._spec_with_faults(key, attempt)
+        try:
+            future = self._pool_handle().submit(_run_task, spec)
+        except BrokenProcessPool:
+            # The pool broke between loops; rebuild once and resubmit.
+            self._rebuild_pool()
+            future = self._pool_handle().submit(_run_task, spec)
+        deadline = (
+            time.monotonic() + self.policy.timeout
+            if self.policy.timeout is not None
+            else None
+        )
+        self.active[future] = (key, attempt, deadline)
+
+    def _defer(self, key: Tuple[str, str], attempt: int) -> None:
+        """Queue the next attempt after its deterministic backoff."""
+        backoff = self.policy.backoff(attempt)
+        METRICS.inc("resilience.retries")
+        METRICS.add_time("resilience.backoff_seconds", backoff)
+        self._seq += 1
+        self.waiting.append(
+            (time.monotonic() + backoff, self._seq, key, attempt + 1)
+        )
+
+    def _on_attempt_failure(
+        self, key: Tuple[str, str], attempt: int, kind: str, message: str
+    ) -> None:
+        if kind == "timeout":
+            METRICS.inc("resilience.timeouts")
+        if attempt >= self.policy.max_attempts:
+            name, task = key
+            METRICS.inc("resilience.task_failures")
+            self.failures.append(
+                TaskFailure(
+                    benchmark=name,
+                    task=task,
+                    attempts=attempt,
+                    kind=kind,
+                    message=message,
+                )
+            )
+        else:
+            self._defer(key, attempt)
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> None:
+        try:
+            while self.ready or self.waiting or self.active:
+                self._promote_waiting()
+                while self.ready and len(self.active) < self.jobs:
+                    key, attempt = self.ready.popleft()
+                    self._submit(key, attempt)
+                if not self.active:
+                    # Everything left is backing off; sleep to the next
+                    # ready time instead of spinning.
+                    if self.waiting:
+                        next_at = min(entry[0] for entry in self.waiting)
+                        time.sleep(max(0.0, next_at - time.monotonic()))
+                    continue
+                done, _ = wait(
+                    list(self.active), timeout=_TICK,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not self._collect(done):
+                    continue  # pool broke; state already rescheduled
+                self._expire_deadlines()
+        except BaseException:
+            # Interrupt/SIGTERM/unexpected error: reap workers, cancel
+            # queued futures, and let the caller decide what to keep.
+            self.shutdown(kill=True)
+            raise
+        else:
+            self.shutdown()
+
+    def _promote_waiting(self) -> None:
+        if not self.waiting:
+            return
+        now = time.monotonic()
+        self.waiting.sort()
+        while self.waiting and self.waiting[0][0] <= now:
+            _, _, key, attempt = self.waiting.pop(0)
+            self.ready.append((key, attempt))
+
+    def _collect(self, done) -> bool:
+        """Harvest finished futures; False if the pool broke mid-batch."""
+        for future in done:
+            key, attempt, _ = self.active.pop(future)
+            try:
+                payload = future.result()
+            except BrokenProcessPool as error:
+                self._on_pool_broken(key, attempt, error)
+                return False
+            except Exception as error:
+                self._on_attempt_failure(
+                    key, attempt, "error", f"{type(error).__name__}: {error}"
+                )
+            else:
+                self.results[key] = payload
+        return True
+
+    def _on_pool_broken(self, key, attempt, error) -> None:
+        """A worker died hard; every in-flight job went down with it.
+
+        The culprit is unknowable from the parent, so every in-flight
+        attempt (the reporting future included) is charged one attempt
+        -- each job still gets its full retry budget, and a persistent
+        hard-crasher cannot rebuild the pool forever.
+        """
+        victims = [(key, attempt)]
+        for future, (other_key, other_attempt, _) in self.active.items():
+            future.cancel()
+            victims.append((other_key, other_attempt))
+        self.active.clear()
+        self._rebuild_pool()
+        for victim_key, victim_attempt in victims:
+            self._on_attempt_failure(
+                victim_key,
+                victim_attempt,
+                "worker-lost",
+                f"worker pool broke: {error}",
+            )
+
+    def _expire_deadlines(self) -> None:
+        now = time.monotonic()
+        expired = [
+            (future, entry)
+            for future, entry in self.active.items()
+            if entry[2] is not None and now >= entry[2]
+        ]
+        if not expired:
+            return
+        # A hung worker can only be reclaimed by killing the pool, which
+        # takes every in-flight job with it: timed-out attempts are
+        # charged and retried, innocents resubmitted at the same attempt.
+        expired_futures = {future for future, _ in expired}
+        innocents = [
+            (key, attempt)
+            for future, (key, attempt, _) in self.active.items()
+            if future not in expired_futures
+        ]
+        self.active.clear()
+        self._rebuild_pool()
+        for _, (key, attempt, _) in expired:
+            self._on_attempt_failure(
+                key, attempt, "timeout",
+                f"attempt exceeded {self.policy.timeout:.3f}s wall clock",
+            )
+        for key, attempt in reversed(innocents):
+            self.ready.appendleft((key, attempt))
 
 
 def prime_labs(
@@ -162,6 +459,9 @@ def prime_labs(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     tasks: Sequence[str] = DEFAULT_TASKS,
+    policy: Optional[RetryPolicy] = None,
+    injector: Optional[FaultInjector] = None,
+    failures: Optional[list] = None,
 ) -> int:
     """Populate every lab's memos for ``tasks``, in parallel.
 
@@ -177,11 +477,32 @@ def prime_labs(
         jobs: Worker processes (None -> :func:`default_jobs`).
         cache: Shared result cache; workers write through to it.
         tasks: Task names to prime (subset of :data:`DEFAULT_TASKS`).
+        policy: Retry/timeout policy (None -> environment defaults via
+            :meth:`RetryPolicy.resolve`).
+        injector: Deterministic fault injector (None -> no faults; the
+            :data:`REPRO_FAULT_SPEC` environment variable is resolved
+            by the API layer, not here).
+        failures: If given, a task that exhausts its attempt budget is
+            appended here as a structured dict and the pass continues;
+            if None, exhausted tasks are simply left unprimed (the lab
+            computes them lazily on demand).
 
     Returns:
-        The number of jobs executed (0 means everything was cached).
+        The number of jobs that executed successfully (0 means
+        everything was cached).
+
+    Raises:
+        FaultSpecError: If the fault spec injects hangs but the policy
+            has no timeout to detect them with.
     """
     jobs = resolve_jobs(jobs)
+    if policy is None:
+        policy = RetryPolicy.resolve()
+    if injector is not None and injector.wants_timeout() and policy.timeout is None:
+        raise FaultSpecError(
+            "fault spec injects 'hang' faults but no task timeout is set; "
+            "pass --task-timeout (or REPRO_TASK_TIMEOUT)"
+        )
     METRICS.gauge("parallel.workers", jobs)
     pending = []
     for name in sorted(labs):
@@ -197,13 +518,13 @@ def prime_labs(
         return 0
 
     if jobs <= 1:
-        # Serial path: compute in place via the shared task kernel (one
-        # source of truth with the worker path); Lab folds memo + cache.
         with span("prime_labs", jobs=1, pending=len(pending)):
-            for name, task in pending:
-                _prime_serial(labs[name], task)
-        METRICS.inc("parallel.jobs_executed", len(pending))
-        return len(pending)
+            executed, task_failures = _prime_serial_all(
+                labs, pending, policy, injector
+            )
+        METRICS.inc("parallel.jobs_executed", executed)
+        _report_failures(task_failures, failures)
+        return executed
 
     cache_root = str(cache.root) if cache is not None else None
     job_specs = {
@@ -218,18 +539,9 @@ def prime_labs(
         )
         for name, task in pending
     }
-    results = {}
+    supervisor = _Supervisor(jobs, job_specs, pending, policy, injector)
     with span("prime_labs", jobs=jobs, pending=len(pending)):
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(_run_task, spec): key
-                for key, spec in job_specs.items()
-            }
-            for future in as_completed(futures):
-                name, task, digest, result, delta, events, duration = (
-                    future.result()
-                )
-                results[(name, task)] = (digest, result, delta, events, duration)
+        supervisor.run()
 
     # Fold in deterministic (sorted-name, task-order) order, verifying
     # the worker simulated the same trace the lab holds.  Metric deltas
@@ -237,7 +549,11 @@ def prime_labs(
     # independent of worker scheduling.
     executed = 0
     for name, task in pending:
-        digest, result, delta, events, duration = results[(name, task)]
+        if (name, task) not in supervisor.results:
+            continue  # failed after retries; recorded below
+        _, _, digest, result, delta, events, duration = supervisor.results[
+            (name, task)
+        ]
         METRICS.merge(delta)
         METRICS.add_time("parallel.job_seconds", duration)
         TRACER.add_events(events)
@@ -254,7 +570,84 @@ def prime_labs(
             lab.store_correct(task, result, write_through=write_through)
         executed += 1
     METRICS.inc("parallel.jobs_executed", executed)
+    _report_failures(supervisor.failures, failures)
     return executed
+
+
+def _report_failures(
+    task_failures: List[TaskFailure], sink: Optional[list]
+) -> None:
+    """Deliver structured failures in a schedule-independent order."""
+    if sink is None:
+        return
+    for failure in sorted(task_failures, key=lambda f: (f.benchmark, f.task)):
+        sink.append(failure.to_dict())
+
+
+def _prime_serial_all(
+    labs: Dict[str, Lab],
+    pending: Sequence[Tuple[str, str]],
+    policy: RetryPolicy,
+    injector: Optional[FaultInjector],
+) -> Tuple[int, List[TaskFailure]]:
+    """The in-process path: same retry/fault semantics, no executor.
+
+    Injected hangs cannot be preempted in-process, so they fail the
+    attempt as a timeout immediately -- keeping the attempt sequence
+    (and every resilience counter) identical to a parallel run under
+    the same fault spec.
+    """
+    executed = 0
+    task_failures: List[TaskFailure] = []
+    for name, task in pending:
+        lab = labs[name]
+        attempt = 1
+        while True:
+            kinds: Tuple[str, ...] = ()
+            if injector is not None:
+                kinds = injector.kinds(name, task, attempt)
+                _count_injected(kinds)
+            try:
+                if "crash" in kinds:
+                    raise InjectedCrash(f"injected crash: {name}/{task}")
+                if "hang" in kinds:
+                    raise TaskTimeout(
+                        f"injected hang: {name}/{task} (in-process)"
+                    )
+                result = compute_task(lab.trace, lab.config, task)
+            except Exception as error:
+                kind = "timeout" if isinstance(error, TaskTimeout) else "error"
+                if kind == "timeout":
+                    METRICS.inc("resilience.timeouts")
+                if attempt >= policy.max_attempts:
+                    METRICS.inc("resilience.task_failures")
+                    task_failures.append(
+                        TaskFailure(
+                            benchmark=name,
+                            task=task,
+                            attempts=attempt,
+                            kind=kind,
+                            message=f"{type(error).__name__}: {error}",
+                        )
+                    )
+                    break
+                backoff = policy.backoff(attempt)
+                METRICS.inc("resilience.retries")
+                METRICS.add_time("resilience.backoff_seconds", backoff)
+                time.sleep(backoff)
+                attempt += 1
+            else:
+                if task == CORRELATION_TASK:
+                    lab.store_correlation(result)
+                else:
+                    lab.store_correct(task, result)
+                if "corrupt" in kinds and lab.cache is not None:
+                    _corrupt_result_entry(
+                        lab.cache, lab.trace.digest(), task, lab.config
+                    )
+                executed += 1
+                break
+    return executed, task_failures
 
 
 def _fold_cached(lab: Lab, task: str) -> bool:
@@ -276,18 +669,3 @@ def _fold_cached(lab: Lab, task: str) -> bool:
         return False
     lab.store_correct(task, bitmap, write_through=False)
     return True
-
-
-def _prime_serial(lab: Lab, task: str) -> None:
-    """Compute one task in-process and fold it into the lab's memo.
-
-    Goes through :func:`compute_task` (not ``lab.correct``) so the
-    serial path counts exactly the work-unit metrics a worker would,
-    and probes the disk cache exactly once per task (the scheduling
-    loop's :func:`_fold_cached` already did).
-    """
-    result = compute_task(lab.trace, lab.config, task)
-    if task == CORRELATION_TASK:
-        lab.store_correlation(result)
-    else:
-        lab.store_correct(task, result)

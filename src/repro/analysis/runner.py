@@ -84,6 +84,19 @@ class Lab:
             return self._correlation_data is not None
         return task in self._correct
 
+    def invalidate(self, task: str) -> bool:
+        """Drop a task's memoised result; True if one was held.
+
+        Only the in-memory memo is dropped -- the disk cache keeps its
+        entry (quarantine handles corrupt ones).  Used when a folded
+        result is discovered to be untrustworthy and must recompute.
+        """
+        if task == "correlation":
+            had = self._correlation_data is not None
+            self._correlation_data = None
+            return had
+        return self._correct.pop(task, None) is not None
+
     def store_correct(
         self, name: str, bitmap: np.ndarray, write_through: bool = True
     ) -> None:
@@ -156,6 +169,8 @@ class Lab:
 
     def correlation_data(self) -> CorrelationData:
         """Tagged-correlation observations (collected once at window 32)."""
+        if self._correlation_data is not None:
+            METRICS.inc("sim.memo_hits")
         if self._correlation_data is None:
             data = None
             if self.cache is not None:

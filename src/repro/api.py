@@ -18,13 +18,19 @@ interchangeable.  The deep paths keep working -- the facade re-exports,
 it does not move code.
 
 :func:`run_report` is the instrumented entry point: it scopes the
-global metrics registry, traces every stage, and assembles the
+global metrics registry, traces every stage, assembles the
 schema-versioned run manifest that ``repro report`` writes to
-``run_manifest.json``.
+``run_manifest.json``, and hosts the resilience layer -- per-task
+retries ride inside the engine, completed experiments are journaled as
+they finish, ``resume=True`` replays journaled results bit-identically,
+and a failing experiment becomes a structured failure in
+:attr:`ReportRun.failures` instead of a mid-run traceback.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
@@ -37,12 +43,16 @@ from repro.experiments.base import (
     EXPERIMENT_IDS,
     EXTENSION_IDS,
     ExperimentResult,
+    ReplayedResult,
     build_labs,
     run_experiment,
 )
 from repro.obs.manifest import build_manifest, write_manifest
 from repro.obs.metrics import METRICS
 from repro.obs.tracing import TRACER
+from repro.resilience.faults import FaultInjector
+from repro.resilience.journal import RunJournal, run_key
+from repro.resilience.retry import RetryPolicy
 from repro.trace.trace import Trace
 from repro.workloads.suite import load_suite
 
@@ -89,6 +99,13 @@ class ReportRun:
     labs: Dict[str, Lab] = field(default_factory=dict)
     manifest: Dict[str, Any] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    replayed: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every task and experiment completed cleanly."""
+        return not self.failures
 
 
 def _resolve_cache(
@@ -97,6 +114,27 @@ def _resolve_cache(
     if not use_cache:
         return None
     return ResultCache(cache_dir)
+
+
+def _install_sigterm_handler():
+    """Convert SIGTERM into KeyboardInterrupt for the run's duration.
+
+    A preempted/killed-by-timeout run then unwinds through the same
+    cleanup as Ctrl-C: the scheduler reaps its workers and the journal
+    keeps every experiment completed so far.  Only possible (and only
+    attempted) in the main thread; returns the previous handler, or
+    None if nothing was installed.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    try:
+        return signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, OSError):
+        return None
 
 
 def run_report(
@@ -114,6 +152,11 @@ def run_report(
     trace_out: Optional[str] = None,
     command: Optional[List[str]] = None,
     echo: Optional[Callable[[str], None]] = None,
+    retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    fault_spec: Optional[str] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
 ) -> ReportRun:
     """Run experiments end to end: labs, simulations, results, manifest.
 
@@ -139,13 +182,27 @@ def run_report(
         command: The argv that launched the run, recorded in the
             manifest (None for library use).
         echo: Progress sink (e.g. ``print``); None runs silently.
+        retries: Per-task retries after the first attempt (default:
+            ``REPRO_MAX_RETRIES`` or 2).
+        task_timeout: Per-task wall-clock limit in seconds for parallel
+            workers (default: ``REPRO_TASK_TIMEOUT`` or none).
+        fault_spec: Deterministic fault-injection spec (see
+            ``docs/resilience.md``; default: ``REPRO_FAULT_SPEC``).
+        journal_path: Append completed experiment results to this
+            crash-safe JSONL journal; None disables journaling.
+        resume: Replay journaled results whose run key matches this run
+            instead of re-running them (requires ``journal_path``).
 
     Returns:
         A :class:`ReportRun` with results, primed labs, the manifest
-        dict, and the run's metric delta.
+        dict, the run's metric delta, and any structured failures
+        (check :attr:`ReportRun.ok`; a failed experiment no longer
+        raises).
 
     Raises:
         KeyError: On an unknown experiment id.
+        ValueError: On a malformed fault spec, or hang faults without a
+            task timeout.
     """
     say = echo if echo is not None else (lambda message: None)
     if config is None:
@@ -163,33 +220,95 @@ def run_report(
 
     cache = _resolve_cache(use_cache, cache_dir)
     jobs = resolve_jobs(jobs if jobs is None else int(jobs))
+    policy = RetryPolicy.resolve(retries, task_timeout)
+    injector = (
+        FaultInjector.from_spec(fault_spec)
+        if fault_spec is not None
+        else FaultInjector.from_env()
+    )
+    journal = (
+        RunJournal(journal_path, fresh=not resume) if journal_path else None
+    )
+    failures: List[Dict[str, Any]] = []
+    replayed: List[str] = []
 
     TRACER.reset()
     baseline = METRICS.snapshot()
     run_start = time.perf_counter()
-    with TRACER.span("report", experiments=",".join(requested)):
-        say("building workload traces...")
-        build_start = time.perf_counter()
-        labs = build_labs(max_length, config, seed, jobs=jobs, cache=cache)
-        build_seconds = time.perf_counter() - build_start
-        total = sum(len(lab.trace) for lab in labs.values())
-        say(f"  {len(labs)} benchmarks, {total} dynamic branches")
-        if cache is not None:
-            say(f"  cache: {cache.root} ({cache.stats.summary()})")
-        say(f"  jobs: {jobs}\n")
+    previous_sigterm = _install_sigterm_handler()
+    try:
+        with TRACER.span("report", experiments=",".join(requested)):
+            say("building workload traces...")
+            build_start = time.perf_counter()
+            labs = build_labs(
+                max_length,
+                config,
+                seed,
+                jobs=jobs,
+                cache=cache,
+                policy=policy,
+                injector=injector,
+                failures=failures,
+            )
+            build_seconds = time.perf_counter() - build_start
+            total = sum(len(lab.trace) for lab in labs.values())
+            say(f"  {len(labs)} benchmarks, {total} dynamic branches")
+            if cache is not None:
+                say(f"  cache: {cache.root} ({cache.stats.summary()})")
+            say(f"  jobs: {jobs}\n")
 
-        results: Dict[str, ExperimentResult] = {}
-        experiment_timings: List[dict] = []
-        for experiment_id in requested:
-            say(f"running {experiment_id}...")
-            experiment_start = time.perf_counter()
-            result = run_experiment(experiment_id, labs)
-            experiment_timings.append({
-                "id": experiment_id,
-                "seconds": time.perf_counter() - experiment_start,
-            })
-            results[experiment_id] = result
-            say(f"\n{result}\n")
+            key = run_key(config, seed, labs)
+            journaled = journal.load() if (journal and resume) else {}
+
+            results: Dict[str, ExperimentResult] = {}
+            experiment_timings: List[dict] = []
+            for experiment_id in requested:
+                entry = journaled.get((experiment_id, key))
+                if entry is not None:
+                    results[experiment_id] = ReplayedResult(
+                        entry["payload"], entry["render"]
+                    )
+                    experiment_timings.append(
+                        {"id": experiment_id, "seconds": 0.0}
+                    )
+                    replayed.append(experiment_id)
+                    METRICS.inc("resilience.replayed")
+                    say(f"{experiment_id}: replayed from journal\n")
+                    continue
+                say(f"running {experiment_id}...")
+                experiment_start = time.perf_counter()
+                try:
+                    result = run_experiment(experiment_id, labs)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:
+                    METRICS.inc("resilience.experiment_failures")
+                    failures.append({
+                        "scope": "experiment",
+                        "experiment_id": experiment_id,
+                        "kind": "error",
+                        "message": f"{type(error).__name__}: {error}",
+                    })
+                    say(
+                        f"  {experiment_id} FAILED "
+                        f"({type(error).__name__}: {error}); continuing\n"
+                    )
+                    continue
+                experiment_timings.append({
+                    "id": experiment_id,
+                    "seconds": time.perf_counter() - experiment_start,
+                })
+                results[experiment_id] = result
+                if journal is not None:
+                    journal.record(experiment_id, key, result)
+                say(f"\n{result}\n")
+    finally:
+        # The journal appends durably as each experiment completes, so
+        # an interrupt here loses nothing already finished.
+        if journal is not None:
+            journal.close()
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
 
     if json_out:
         from repro.experiments.export import export_results
@@ -214,6 +333,12 @@ def run_report(
             "build_labs_seconds": build_seconds,
             "total_seconds": time.perf_counter() - run_start,
         },
+        resilience={
+            "failures": failures,
+            "resumed": bool(resume),
+            "replayed": replayed,
+            "journal": journal.path if journal is not None else None,
+        },
     )
     if manifest_out:
         write_manifest(manifest, manifest_out)
@@ -230,6 +355,16 @@ def run_report(
         say(f"span trace written to {trace_out}")
     if cache is not None:
         say(f"cache: {cache.stats.summary()}")
+    if failures:
+        say(
+            f"run finished with {len(failures)} failure(s); see the "
+            "manifest's resilience section"
+        )
     return ReportRun(
-        results=results, labs=labs, manifest=manifest, metrics=metrics_delta
+        results=results,
+        labs=labs,
+        manifest=manifest,
+        metrics=metrics_delta,
+        failures=failures,
+        replayed=replayed,
     )

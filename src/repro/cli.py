@@ -14,6 +14,9 @@ Examples::
     repro all --jobs 4           # explicit worker count
     repro all --no-cache         # force recomputation
     repro report --metrics-out m.json --trace-out spans.json
+    repro report --resume        # replay journaled results after a kill
+    repro report --retries 3 --task-timeout 120   # resilience knobs
+    repro report --inject-fault gshare:1:crash    # deterministic chaos
     repro obs show run_manifest.json   # inspect/validate a manifest
     repro cache stats            # inspect the result cache
     repro cache clear            # reclaim the cache directory
@@ -22,7 +25,12 @@ Examples::
 
 ``repro report`` / ``repro all`` also write a schema-versioned run
 manifest (``run_manifest.json`` by default; ``--manifest-out`` to move
-or, with an empty value, suppress it).
+or, with an empty value, suppress it) and a crash-safe result journal
+(``run_journal.jsonl``; ``--journal`` to move/suppress, ``--resume`` to
+replay it after an interrupted run).
+
+Exit codes: 0 clean; 1 finished with recorded failures; 2 bad usage;
+130 interrupted.
 """
 
 from __future__ import annotations
@@ -33,12 +41,20 @@ import time
 from typing import List, Optional
 
 from repro.analysis.config import LabConfig
-from repro.cliopts import DEFAULT_SEED, engine_parent
+from repro.cliopts import DEFAULT_SEED, engine_parent, fault_spec_from_args
 from repro.experiments.base import EXPERIMENT_IDS, EXTENSION_IDS
+from repro.resilience.faults import FaultSpecError
 
 #: Where ``repro report`` / ``repro all`` put the run manifest unless
 #: ``--manifest-out`` says otherwise.
 DEFAULT_MANIFEST_NAME = "run_manifest.json"
+
+#: Where ``repro report`` / ``repro all`` journal completed experiment
+#: results unless ``--journal`` says otherwise.
+DEFAULT_JOURNAL_NAME = "run_journal.jsonl"
+
+#: Conventional exit code for a SIGINT/SIGTERM-terminated run.
+EXIT_INTERRUPTED = 130
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -93,6 +109,24 @@ def _parser() -> argparse.ArgumentParser:
             "otherwise; pass an empty value to suppress)"
         ),
     )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help=(
+            "journal completed experiment results to PATH (default: "
+            f"{DEFAULT_JOURNAL_NAME} for 'report'/'all', none "
+            "otherwise; pass an empty value to suppress)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay experiments already in the journal (matched by "
+            "config/seed/trace digests) instead of re-running them"
+        ),
+    )
     return parser
 
 
@@ -119,6 +153,7 @@ def _cache_main(argv: List[str]) -> int:
         print(f"cache directory: {cache.root}")
         print(f"entries: {count}")
         print(f"size: {size / 1e6:.2f} MB")
+        print(f"quarantined: {cache.quarantine_count()}")
     else:
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.root}")
@@ -171,30 +206,75 @@ def main(argv: Optional[List[str]] = None) -> int:
     manifest_out = args.manifest_out
     if manifest_out is None and wants_manifest:
         manifest_out = DEFAULT_MANIFEST_NAME
+    journal = args.journal
+    if journal is None and (wants_manifest or args.resume):
+        journal = DEFAULT_JOURNAL_NAME
 
     from repro.api import run_report
 
     start = time.time()
-    run_report(
-        requested,
-        max_length=args.max_length,
-        config=config,
-        seed=args.seed,
-        jobs=args.jobs,
-        use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-        json_out=args.json,
-        manifest_out=manifest_out or None,
-        metrics_out=args.metrics_out,
-        trace_out=args.trace_out,
-        command=["repro", *argv],
-        echo=lambda message: print(message, flush=True),
-    )
+    try:
+        run = run_report(
+            requested,
+            max_length=args.max_length,
+            config=config,
+            seed=args.seed,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            json_out=args.json,
+            manifest_out=manifest_out or None,
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+            command=["repro", *argv],
+            echo=lambda message: print(message, flush=True),
+            retries=args.retries,
+            task_timeout=args.task_timeout,
+            fault_spec=fault_spec_from_args(args),
+            journal_path=journal or None,
+            resume=args.resume,
+        )
+    except FaultSpecError as error:
+        # Malformed fault spec / resilience configuration: usage error.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(
+            "interrupted; completed experiments are journaled -- "
+            "re-run with --resume to continue",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     print(f"done in {time.time() - start:.1f}s")
+    if run.failures:
+        for failure in run.failures:
+            scope = failure.get("scope", "task")
+            where = (
+                failure.get("experiment_id")
+                if scope == "experiment"
+                else f"{failure.get('benchmark')}/{failure.get('task')}"
+            )
+            print(
+                f"error: {scope} {where} failed "
+                f"[{failure.get('kind')}]: {failure.get('message')}",
+                file=sys.stderr,
+            )
+        print(
+            f"error: run finished with {len(run.failures)} recorded "
+            "failure(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
-__all__ = ["DEFAULT_MANIFEST_NAME", "DEFAULT_SEED", "main"]
+__all__ = [
+    "DEFAULT_JOURNAL_NAME",
+    "DEFAULT_MANIFEST_NAME",
+    "DEFAULT_SEED",
+    "EXIT_INTERRUPTED",
+    "main",
+]
 
 
 if __name__ == "__main__":

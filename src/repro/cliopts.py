@@ -11,7 +11,12 @@ lists it in ``parents=[...]`` --
 * ``--cache-dir`` / ``--no-cache`` -- the on-disk result cache;
 * ``--seed`` -- the workload execution seed ("input data set");
 * ``--metrics-out`` / ``--trace-out`` -- observability artefacts
-  (metric snapshot JSON, Chrome-trace span JSON).
+  (metric snapshot JSON, Chrome-trace span JSON);
+* ``--retries`` / ``--task-timeout`` -- the resilience layer's retry
+  budget and per-task wall-clock limit (``REPRO_MAX_RETRIES`` /
+  ``REPRO_TASK_TIMEOUT``);
+* ``--inject-fault`` -- deterministic fault injection
+  (``REPRO_FAULT_SPEC``; see ``docs/resilience.md``).
 
 Commands that have no use for a given flag still *accept* it (uniform
 interface); they simply ignore it.
@@ -68,7 +73,50 @@ def engine_parent() -> argparse.ArgumentParser:
         default=None,
         help="write the run's spans as Chrome trace JSON to PATH",
     )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help=(
+            "retries per simulation task after its first attempt "
+            "(default: REPRO_MAX_RETRIES or 2; 0 disables retries)"
+        ),
+    )
+    group.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "wall-clock limit per simulation task; an expired parallel "
+            "worker is killed and the task retried (default: "
+            "REPRO_TASK_TIMEOUT or no limit)"
+        ),
+    )
+    group.add_argument(
+        "--inject-fault",
+        metavar="SPEC",
+        action="append",
+        default=None,
+        help=(
+            "inject a deterministic fault: 'selector:attempt:kind' with "
+            "kind one of crash|hang|corrupt (repeatable; default: "
+            "REPRO_FAULT_SPEC; see docs/resilience.md)"
+        ),
+    )
     return parent
+
+
+def fault_spec_from_args(args: argparse.Namespace):
+    """Join repeated ``--inject-fault`` values into one spec string.
+
+    Returns None when the flag was never given, so the API layer falls
+    back to ``REPRO_FAULT_SPEC``.
+    """
+    entries = getattr(args, "inject_fault", None)
+    if not entries:
+        return None
+    return ",".join(entries)
 
 
 def write_observability_outputs(args: argparse.Namespace) -> None:

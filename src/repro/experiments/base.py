@@ -72,6 +72,29 @@ class ExperimentResult(abc.ABC):
         return f"== {self.experiment_id}: {self.title} ==\n{self.render()}"
 
 
+class ReplayedResult(ExperimentResult):
+    """An experiment result replayed from a stored serialisation.
+
+    ``repro report --resume`` rebuilds finished experiments from the
+    run journal instead of re-simulating them.  A replayed result holds
+    the journaled ``to_dict`` payload and rendered text verbatim, so
+    its canonical JSON -- and therefore the manifest ``result_digest``
+    -- is bit-identical to the original run's.
+    """
+
+    def __init__(self, payload: Dict[str, Any], render_text: str) -> None:
+        self._payload = payload
+        self._render = render_text
+        self.experiment_id = str(payload.get("experiment_id", ""))
+        self.title = str(payload.get("title", ""))
+
+    def render(self) -> str:
+        return self._render
+
+    def to_dict(self) -> Dict[str, Any]:
+        return json.loads(json.dumps(self._payload))
+
+
 #: Registered experiment runners, keyed by experiment id.
 _REGISTRY: Dict[str, Callable[[Dict[str, Lab]], ExperimentResult]] = {}
 
@@ -95,6 +118,9 @@ def build_labs(
     *,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    policy: Optional[Any] = None,
+    injector: Optional[Any] = None,
+    failures: Optional[list] = None,
 ) -> Dict[str, Lab]:
     """One :class:`Lab` per suite benchmark, sharing a configuration.
 
@@ -108,6 +134,12 @@ def build_labs(
             the parallel scheduler with this many workers (1 = serial
             priming).  Default None leaves labs lazy, as before.
         cache: Optional on-disk result cache attached to every lab.
+        policy: Retry policy for the priming pass
+            (:class:`repro.resilience.RetryPolicy`; None = defaults).
+        injector: Fault injector for the priming pass
+            (:class:`repro.resilience.FaultInjector`; None = no faults).
+        failures: If given, structured task-failure dicts from the
+            priming pass are appended here instead of raising.
     """
     labs = {}
     with span("build_labs", run_seed=run_seed):
@@ -122,7 +154,15 @@ def build_labs(
         if jobs is not None:
             from repro.analysis.parallel import prime_labs
 
-            prime_labs(labs, run_seed, jobs=jobs, cache=cache)
+            prime_labs(
+                labs,
+                run_seed,
+                jobs=jobs,
+                cache=cache,
+                policy=policy,
+                injector=injector,
+                failures=failures,
+            )
     return labs
 
 

@@ -26,7 +26,9 @@ import time
 from typing import Any, Dict, List, Optional
 
 #: Bump on any manifest layout or semantics change.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 added the ``resilience`` section (retries, timeouts, injected
+#: faults, structured failures, resume accounting).
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Discriminator so readers can reject non-manifest JSON early.
 MANIFEST_KIND = "repro.run_manifest"
@@ -69,6 +71,7 @@ def build_manifest(
     experiment_timings: List[dict],
     metrics: dict,
     timings: Dict[str, float],
+    resilience: Optional[dict] = None,
 ) -> dict:
     """Assemble the manifest dict for one finished report run.
 
@@ -85,8 +88,24 @@ def build_manifest(
         experiment_timings: ``[{"id", "seconds"}, ...]`` in run order.
         metrics: The run's metric delta (:meth:`Metrics.delta_since`).
         timings: Named run-level wall-clock figures (seconds).
+        resilience: Extra fields for the ``resilience`` section
+            (``failures``, ``resumed``, ``replayed``, ``journal``);
+            the counter-derived fields are filled in from ``metrics``
+            either way.
     """
     counters = metrics.get("counters", {})
+    extra = resilience or {}
+    resilience_section = {
+        "retries": counters.get("resilience.retries", 0),
+        "timeouts": counters.get("resilience.timeouts", 0),
+        "task_failures": counters.get("resilience.task_failures", 0),
+        "faults_injected": counters.get("resilience.faults_injected", 0),
+        "pool_rebuilds": counters.get("parallel.pool_rebuilds", 0),
+        "failures": list(extra.get("failures", [])),
+        "resumed": bool(extra.get("resumed", False)),
+        "replayed": list(extra.get("replayed", [])),
+        "journal": extra.get("journal"),
+    }
 
     def _kind(kind: str, event: str) -> int:
         return counters.get(f"cache.{kind}.{event}", 0)
@@ -138,6 +157,7 @@ def build_manifest(
             }
             for experiment_id in results
         ],
+        "resilience": resilience_section,
         "metrics": metrics,
         "timings": {name: float(value) for name, value in timings.items()},
     }
@@ -161,8 +181,21 @@ _TOP_LEVEL_SPEC: Dict[str, tuple] = {
     "cache": (dict,),
     "traces": (dict,),
     "experiments": (list,),
+    "resilience": (dict,),
     "metrics": (dict,),
     "timings": (dict,),
+}
+
+_RESILIENCE_SPEC: Dict[str, tuple] = {
+    "retries": (int,),
+    "timeouts": (int,),
+    "task_failures": (int,),
+    "faults_injected": (int,),
+    "pool_rebuilds": (int,),
+    "failures": (list,),
+    "resumed": (bool,),
+    "replayed": (list,),
+    "journal": (str, type(None)),
 }
 
 _CACHE_SPEC: Dict[str, tuple] = {
@@ -221,6 +254,17 @@ def validate_manifest(payload: Any) -> List[str]:
         )
     if isinstance(payload.get("cache"), dict):
         _check_fields(payload["cache"], _CACHE_SPEC, "cache", errors)
+    if isinstance(payload.get("resilience"), dict):
+        _check_fields(
+            payload["resilience"], _RESILIENCE_SPEC, "resilience", errors
+        )
+        failures = payload["resilience"].get("failures")
+        if isinstance(failures, list):
+            for index, entry in enumerate(failures):
+                if not isinstance(entry, dict):
+                    errors.append(
+                        f"resilience.failures[{index}]: not an object"
+                    )
     if isinstance(payload.get("traces"), dict):
         for name, entry in payload["traces"].items():
             if not isinstance(entry, dict):
@@ -329,6 +373,29 @@ def summarize_manifest(payload: dict) -> str:
     lines.append(
         f"  traces:      {len(traces)} benchmarks, {total} dynamic branches"
     )
+    resilience = payload.get("resilience", {})
+    if resilience:
+        failures = resilience.get("failures", [])
+        lines.append(
+            f"  resilience:  {resilience.get('retries', 0)} retries, "
+            f"{resilience.get('timeouts', 0)} timeouts, "
+            f"{resilience.get('faults_injected', 0)} faults injected, "
+            f"{len(failures)} failures"
+            + (" (resumed)" if resilience.get("resumed") else "")
+        )
+        for entry in resilience.get("replayed", []):
+            lines.append(f"    replayed from journal: {entry}")
+        for entry in failures:
+            scope = entry.get("scope", "task")
+            where = (
+                entry.get("experiment_id")
+                if scope == "experiment"
+                else f"{entry.get('benchmark')}/{entry.get('task')}"
+            )
+            lines.append(
+                f"    FAILED [{entry.get('kind', '?')}] {where}: "
+                f"{entry.get('message', '')}"
+            )
     for entry in payload.get("experiments", []):
         lines.append(
             f"    {entry.get('id', '?'):16s} {entry.get('seconds', 0.0):8.3f}s"

@@ -155,5 +155,22 @@ class Metrics:
             self._timers.clear()
 
 
+def sum_counters(snapshot: dict, prefix: str) -> int:
+    """Sum every counter under a dotted prefix in a snapshot/delta dict.
+
+    ``sum_counters(delta, "resilience.faults")`` adds up
+    ``resilience.faults.crash`` + ``resilience.faults.hang`` + ... --
+    handy for manifest sections that aggregate a counter family without
+    enumerating its members.  The bare prefix name itself also counts
+    (``prefix`` and ``prefix.*``).
+    """
+    dotted = prefix + "."
+    return sum(
+        int(value)
+        for name, value in snapshot.get("counters", {}).items()
+        if name == prefix or name.startswith(dotted)
+    )
+
+
 #: The process-global registry the instrumented engine writes to.
 METRICS = Metrics()

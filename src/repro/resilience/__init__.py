@@ -1,0 +1,71 @@
+"""Fault-tolerant execution: retries, checkpoint/resume, fault injection.
+
+Long report runs over large synthetic trace suites fail in boring ways
+-- a worker segfaults, a machine is preempted mid-sweep, a cache entry
+is truncated by a full disk.  Before this package, any of those threw
+away the whole run.  The resilience layer makes the engine degrade
+instead of die:
+
+* :mod:`repro.resilience.retry` -- per-task retry with deterministic
+  capped backoff and a worker wall-clock timeout
+  (:class:`RetryPolicy`); exhausted retries become structured
+  :class:`TaskFailure` records, not tracebacks.
+* :mod:`repro.resilience.journal` -- a crash-safe append-only journal
+  of completed experiment results keyed by the same trace/config
+  digests the result cache uses, so ``repro report --resume`` replays
+  finished experiments bit-identically after a kill
+  (:class:`RunJournal`).
+* :mod:`repro.resilience.faults` -- a deterministic fault-injection
+  harness (``--inject-fault task:N:kind`` / :data:`ENV_FAULT_SPEC`)
+  that makes worker crashes, hangs and cache corruption reproducible
+  in tests and CI (:class:`FaultInjector`).
+
+Everything is observable: retries, timeouts, injected faults and
+failures flow into :data:`repro.obs.METRICS` counters and the run
+manifest's ``resilience`` section, and the determinism contract holds
+-- the same fault spec produces the same attempt sequence and the same
+folded results for ``--jobs 1`` and ``--jobs 4``.
+
+See ``docs/resilience.md`` for the fault model, the journal format and
+the fault-spec grammar.
+"""
+
+from repro.resilience.faults import (
+    ENV_FAULT_SPEC,
+    Fault,
+    FaultInjector,
+    FaultSpecError,
+    InjectedCrash,
+    parse_fault_spec,
+)
+from repro.resilience.journal import (
+    JOURNAL_KIND,
+    JOURNAL_SCHEMA_VERSION,
+    RunJournal,
+    run_key,
+)
+from repro.resilience.retry import (
+    ENV_MAX_RETRIES,
+    ENV_TASK_TIMEOUT,
+    RetryPolicy,
+    TaskFailure,
+    TaskTimeout,
+)
+
+__all__ = [
+    "ENV_FAULT_SPEC",
+    "ENV_MAX_RETRIES",
+    "ENV_TASK_TIMEOUT",
+    "Fault",
+    "FaultInjector",
+    "FaultSpecError",
+    "InjectedCrash",
+    "JOURNAL_KIND",
+    "JOURNAL_SCHEMA_VERSION",
+    "RetryPolicy",
+    "RunJournal",
+    "TaskFailure",
+    "TaskTimeout",
+    "parse_fault_spec",
+    "run_key",
+]

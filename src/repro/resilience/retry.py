@@ -1,0 +1,143 @@
+"""Retry policy: deterministic capped backoff and task timeouts.
+
+The policy is deliberately free of randomness -- no jitter -- so the
+same failures produce the same attempt sequence, the same backoff
+accounting and therefore the same folded metrics for any worker count.
+(Jitter exists to de-synchronise fleets of independent clients; the
+scheduler here owns every worker, so determinism is worth more.)
+
+Resolution order for each knob: explicit argument, then environment
+(:data:`ENV_MAX_RETRIES`, :data:`ENV_TASK_TIMEOUT`), then default.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Environment variable overriding the attempt budget per task.
+ENV_MAX_RETRIES = "REPRO_MAX_RETRIES"
+
+#: Environment variable overriding the per-task wall-clock timeout.
+ENV_TASK_TIMEOUT = "REPRO_TASK_TIMEOUT"
+
+#: Total attempts per task (first try + retries) unless overridden.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class TaskTimeout(RuntimeError):
+    """A task attempt exceeded the policy's wall-clock timeout."""
+
+
+def _env_int(name: str) -> Optional[int]:
+    text = os.environ.get(name)
+    if not text:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def _env_float(name: str) -> Optional[float]:
+    text = os.environ.get(name)
+    if not text:
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the scheduler treats a failing task.
+
+    Attributes:
+        max_attempts: Total tries per task, first attempt included;
+            1 disables retries.
+        backoff_base: Delay before the first retry, in seconds.
+        backoff_factor: Multiplier per further retry.
+        backoff_cap: Upper bound on any single backoff delay.
+        timeout: Per-attempt wall-clock limit in seconds (None = no
+            limit).  In parallel runs an expired attempt gets its
+            worker pool killed and rebuilt; in-process it is enforced
+            only for injected hangs (a genuine in-process hang cannot
+            be preempted without threads).
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+    @classmethod
+    def resolve(
+        cls,
+        retries: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> "RetryPolicy":
+        """Build a policy from CLI-style knobs with environment fallback.
+
+        ``retries`` counts *retries after the first attempt* (the CLI
+        spelling), so ``--retries 0`` means one attempt, no retry.
+        """
+        if retries is None:
+            retries = _env_int(ENV_MAX_RETRIES)
+        if timeout is None:
+            timeout = _env_float(ENV_TASK_TIMEOUT)
+        max_attempts = (
+            DEFAULT_MAX_ATTEMPTS if retries is None else max(0, retries) + 1
+        )
+        return cls(max_attempts=max_attempts, timeout=timeout)
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt ``attempt`` (1-based).
+
+        Deterministic capped geometric series:
+        ``min(cap, base * factor**(attempt - 1))``.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+
+@dataclass
+class TaskFailure:
+    """A task that kept failing after its whole attempt budget.
+
+    Structured so it can land in the run manifest's ``resilience``
+    section verbatim; the run continues without the task (the lab
+    computes it in-process on demand, or the owning experiment fails
+    and is itself recorded).
+    """
+
+    benchmark: str
+    task: str
+    attempts: int
+    kind: str  #: terminal failure kind: "error", "timeout", "worker-lost"
+    message: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "scope": "task",
+            "benchmark": self.benchmark,
+            "task": self.task,
+            "attempts": int(self.attempts),
+            "kind": self.kind,
+            "message": self.message,
+        }
+        payload.update(self.extra)
+        return payload

@@ -123,7 +123,9 @@ class TestObservabilityFlags:
         capsys.readouterr()
         assert main(["obs", "show", "run_manifest.json"]) == 0
         out = capsys.readouterr().out
-        assert "run manifest (schema v1" in out
+        from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
+
+        assert f"run manifest (schema v{MANIFEST_SCHEMA_VERSION}" in out
         assert "fig9" in out
 
 

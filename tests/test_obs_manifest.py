@@ -176,7 +176,7 @@ class TestObsCli:
 
         assert main(["show", self._write(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "run manifest (schema v1" in out
+        assert f"run manifest (schema v{MANIFEST_SCHEMA_VERSION}" in out
         assert "table1" in out
 
     def test_validate_invalid_exits_1(self, tmp_path, capsys):

@@ -1,0 +1,107 @@
+"""Tests for the deterministic fault-injection spec and injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.faults import (
+    ENV_FAULT_SPEC,
+    FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultSpecError,
+    parse_fault_spec,
+)
+
+
+class TestParseFaultSpec:
+    def test_empty_and_none_parse_to_nothing(self):
+        assert parse_fault_spec(None) == ()
+        assert parse_fault_spec("") == ()
+        assert parse_fault_spec(" , ,") == ()
+
+    def test_bare_task_selector_means_every_benchmark(self):
+        (fault,) = parse_fault_spec("gshare:1:crash")
+        assert fault == Fault(
+            benchmark="*", task="gshare", attempt=1, kind="crash"
+        )
+
+    def test_full_selector(self):
+        (fault,) = parse_fault_spec("gcc/loop:2:hang")
+        assert fault == Fault(
+            benchmark="gcc", task="loop", attempt=2, kind="hang"
+        )
+
+    def test_multiple_entries_keep_spec_order(self):
+        faults = parse_fault_spec("gshare:1:crash, gcc/loop:2:corrupt")
+        assert [f.kind for f in faults] == ["crash", "corrupt"]
+
+    def test_spec_round_trips(self):
+        text = "gcc/gshare:1:crash,*/loop:2:hang"
+        injector = FaultInjector(parse_fault_spec(text))
+        assert parse_fault_spec(injector.spec()) == parse_fault_spec(text)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "gshare:crash",  # missing attempt
+            "gshare:1:2:crash",  # too many fields
+            "gshare:one:crash",  # non-integer attempt
+            "gshare:0:crash",  # attempts are 1-based
+            "gshare:1:explode",  # unknown kind
+            "/gshare:1:crash",  # empty benchmark
+            "gcc/:1:crash",  # empty task
+        ],
+    )
+    def test_malformed_entries_raise_fault_spec_error(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad)
+
+    def test_fault_spec_error_is_a_value_error(self):
+        # Callers that catch ValueError keep working.
+        assert issubclass(FaultSpecError, ValueError)
+
+
+class TestFaultMatching:
+    def test_attempt_must_match_exactly(self):
+        fault = Fault("*", "gshare", 2, "crash")
+        assert not fault.matches("gcc", "gshare", 1)
+        assert fault.matches("gcc", "gshare", 2)
+        assert not fault.matches("gcc", "gshare", 3)
+
+    def test_globs_on_both_sides(self):
+        fault = Fault("g*", "if_*", 1, "crash")
+        assert fault.matches("gcc", "if_gshare", 1)
+        assert fault.matches("go", "if_pas", 1)
+        assert not fault.matches("perl", "if_gshare", 1)
+        assert not fault.matches("gcc", "gshare", 1)
+
+
+class TestFaultInjector:
+    def test_kinds_in_spec_order(self):
+        injector = FaultInjector(
+            parse_fault_spec("gshare:1:corrupt,gshare:1:crash")
+        )
+        assert injector.kinds("gcc", "gshare", 1) == ("corrupt", "crash")
+        assert injector.kinds("gcc", "gshare", 2) == ()
+        assert injector.kinds("gcc", "loop", 1) == ()
+
+    def test_bool_and_from_spec(self):
+        assert FaultInjector.from_spec(None) is None
+        assert FaultInjector.from_spec("") is None
+        injector = FaultInjector.from_spec("gshare:1:crash")
+        assert injector and bool(injector)
+
+    def test_wants_timeout_only_for_hangs(self):
+        assert not FaultInjector.from_spec("gshare:1:crash").wants_timeout()
+        assert FaultInjector.from_spec("gshare:1:hang").wants_timeout()
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_FAULT_SPEC, raising=False)
+        assert FaultInjector.from_env() is None
+        monkeypatch.setenv(ENV_FAULT_SPEC, "loop:2:corrupt")
+        injector = FaultInjector.from_env()
+        assert injector.kinds("gcc", "loop", 2) == ("corrupt",)
+
+    def test_kind_vocabulary_is_closed(self):
+        assert set(FAULT_KINDS) == {"crash", "hang", "corrupt"}

@@ -1,0 +1,106 @@
+"""Tests for the retry policy: resolution, backoff determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.retry import (
+    DEFAULT_MAX_ATTEMPTS,
+    ENV_MAX_RETRIES,
+    ENV_TASK_TIMEOUT,
+    RetryPolicy,
+    TaskFailure,
+)
+
+
+class TestResolve:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv(ENV_MAX_RETRIES, raising=False)
+        monkeypatch.delenv(ENV_TASK_TIMEOUT, raising=False)
+        policy = RetryPolicy.resolve()
+        assert policy.max_attempts == DEFAULT_MAX_ATTEMPTS
+        assert policy.timeout is None
+
+    def test_retries_is_the_cli_spelling(self):
+        # --retries counts retries AFTER the first attempt.
+        assert RetryPolicy.resolve(retries=0).max_attempts == 1
+        assert RetryPolicy.resolve(retries=2).max_attempts == 3
+        assert RetryPolicy.resolve(retries=-1).max_attempts == 1
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_MAX_RETRIES, "4")
+        monkeypatch.setenv(ENV_TASK_TIMEOUT, "12.5")
+        policy = RetryPolicy.resolve()
+        assert policy.max_attempts == 5
+        assert policy.timeout == 12.5
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_MAX_RETRIES, "9")
+        monkeypatch.setenv(ENV_TASK_TIMEOUT, "99")
+        policy = RetryPolicy.resolve(retries=1, timeout=5.0)
+        assert policy.max_attempts == 2
+        assert policy.timeout == 5.0
+
+    def test_env_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv(ENV_MAX_RETRIES, "lots")
+        monkeypatch.setenv(ENV_TASK_TIMEOUT, "soon")
+        policy = RetryPolicy.resolve()
+        assert policy.max_attempts == DEFAULT_MAX_ATTEMPTS
+        assert policy.timeout is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+
+
+class TestBackoff:
+    def test_capped_geometric_series(self):
+        policy = RetryPolicy(
+            backoff_base=0.05, backoff_factor=2.0, backoff_cap=2.0
+        )
+        assert policy.backoff(1) == pytest.approx(0.05)
+        assert policy.backoff(2) == pytest.approx(0.10)
+        assert policy.backoff(3) == pytest.approx(0.20)
+        # Far past the cap the series flattens.
+        assert policy.backoff(20) == 2.0
+
+    def test_deterministic_no_jitter(self):
+        policy = RetryPolicy()
+        sequences = [
+            [policy.backoff(attempt) for attempt in range(1, 8)]
+            for _ in range(5)
+        ]
+        assert all(seq == sequences[0] for seq in sequences)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+
+class TestTaskFailure:
+    def test_to_dict_shape(self):
+        failure = TaskFailure(
+            benchmark="gcc",
+            task="gshare",
+            attempts=3,
+            kind="timeout",
+            message="attempt exceeded 10s",
+        )
+        payload = failure.to_dict()
+        assert payload == {
+            "scope": "task",
+            "benchmark": "gcc",
+            "task": "gshare",
+            "attempts": 3,
+            "kind": "timeout",
+            "message": "attempt exceeded 10s",
+        }
+
+    def test_extra_fields_flow_through(self):
+        failure = TaskFailure(
+            benchmark="gcc", task="loop", attempts=1, kind="error",
+            extra={"note": "injected"},
+        )
+        assert failure.to_dict()["note"] == "injected"
