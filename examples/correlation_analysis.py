@@ -9,6 +9,7 @@ Run:
     python examples/correlation_analysis.py [benchmark]
 """
 
+import os
 import sys
 
 from repro.analysis.runner import Lab
@@ -27,7 +28,8 @@ def describe_tag(tag) -> str:
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
-    lab = Lab(load_benchmark(benchmark, length=30_000))
+    length = int(os.environ.get("REPRO_EXAMPLE_LENGTH", 30_000))
+    lab = Lab(load_benchmark(benchmark, length=length))
     trace = lab.trace
     biases = per_branch_bias(trace)
 

@@ -9,6 +9,7 @@ Run:
     python examples/custom_workload.py
 """
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -60,7 +61,8 @@ def build_program() -> Program:
 
 def main() -> None:
     program = build_program()
-    trace = execute_program(program, num_branches=20_000, seed=7)
+    num_branches = int(os.environ.get("REPRO_EXAMPLE_LENGTH", 20_000))
+    trace = execute_program(program, num_branches=num_branches, seed=7)
     print(f"executed: {trace}")
 
     # Round-trip through the on-disk format.

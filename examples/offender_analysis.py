@@ -10,6 +10,7 @@ Run:
     python examples/offender_analysis.py [benchmark]
 """
 
+import os
 import sys
 
 from repro.analysis.offenders import render_offenders, top_offenders
@@ -20,7 +21,8 @@ from repro.workloads import load_benchmark
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
-    lab = Lab(load_benchmark(benchmark, length=40_000))
+    length = int(os.environ.get("REPRO_EXAMPLE_LENGTH", 40_000))
+    lab = Lab(load_benchmark(benchmark, length=length))
     trace = lab.trace
     gshare_correct = lab.correct("gshare")
 

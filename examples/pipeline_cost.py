@@ -8,6 +8,7 @@ Run:
     python examples/pipeline_cost.py [benchmark]
 """
 
+import os
 import sys
 
 from repro.analysis.cost import PipelineModel
@@ -25,7 +26,8 @@ from repro.workloads import load_benchmark
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
-    trace = load_benchmark(benchmark, length=40_000)
+    length = int(os.environ.get("REPRO_EXAMPLE_LENGTH", 40_000))
+    trace = load_benchmark(benchmark, length=length)
 
     # A late-1990s deep pipeline: 7-cycle flush, 18% branches.
     model = PipelineModel(base_cpi=1.0, branch_fraction=0.18,

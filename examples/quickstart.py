@@ -4,6 +4,8 @@ Run:
     python examples/quickstart.py
 """
 
+import os
+
 from repro.analysis.config import DEFAULT_CONFIG
 from repro.predictors import (
     BimodalPredictor,
@@ -18,7 +20,8 @@ from repro.workloads import load_benchmark
 
 def main() -> None:
     # Generate the gcc analogue (a synthetic SPECint95-like workload).
-    trace = load_benchmark("gcc", length=40_000)
+    length = int(os.environ.get("REPRO_EXAMPLE_LENGTH", 40_000))
+    trace = load_benchmark("gcc", length=length)
     stats = compute_statistics(trace)
     print(f"trace: {len(trace)} dynamic branches, {stats.num_static} static")
     print(f"taken rate: {stats.taken_rate:.3f}")

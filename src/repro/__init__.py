@@ -24,13 +24,18 @@ Public API highlights:
   run manifests).
 * :mod:`repro.resilience` -- fault-tolerant execution (retries,
   checkpoint/resume journal, deterministic fault injection).
+* :mod:`repro.spec` / :mod:`repro.plan` -- declarative run descriptions
+  (RunSpec, config sweeps) and the task graphs they expand into.
 * :mod:`repro.api` -- the stable facade; start here::
 
       from repro import run_report          # or: from repro.api import run_report
       run = run_report(["table2"], max_length=20_000)
+
+      from repro import RunSpec, run_spec   # declarative form
+      run = run_spec(RunSpec.from_file("spec.json"))
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.trace import Trace, TraceBuilder, read_trace, write_trace
 from repro.workloads import BENCHMARK_NAMES, load_benchmark, load_suite
@@ -39,29 +44,45 @@ from repro.workloads import BENCHMARK_NAMES, load_benchmark, load_suite
 # keep this import last so the package is populated enough by the time
 # it runs (and so deep-path imports never pay for it implicitly).
 from repro.api import (  # noqa: E402
+    EngineOptions,
     Lab,
     LabConfig,
     ReportRun,
+    RunSpec,
+    SweepRun,
+    SweepSpec,
+    WorkloadSpec,
     build_labs,
+    build_plan,
     generate_suite,
     run_experiment,
     run_report,
+    run_spec,
+    run_sweep,
 )
 
 __all__ = [
     "BENCHMARK_NAMES",
+    "EngineOptions",
     "Lab",
     "LabConfig",
     "ReportRun",
+    "RunSpec",
+    "SweepRun",
+    "SweepSpec",
     "Trace",
     "TraceBuilder",
+    "WorkloadSpec",
     "__version__",
     "build_labs",
+    "build_plan",
     "generate_suite",
     "load_benchmark",
     "load_suite",
     "read_trace",
     "run_experiment",
     "run_report",
+    "run_spec",
+    "run_sweep",
     "write_trace",
 ]

@@ -70,11 +70,17 @@ QUARANTINE_DIRNAME = "quarantine"
 def result_key(task: str, config: object) -> str:
     """Canonical cache-key string for a Lab task under a configuration.
 
-    Uses the frozen LabConfig's repr, which enumerates every sizing
-    field deterministically.  Deliberately conservative: changing *any*
-    config field re-keys every task's bitmap.
+    Keys by the projection of the configuration onto the fields the
+    task actually reads (see ``analysis.config.TASK_CONFIG_FIELDS``),
+    so a sweep over one predictor's sizing re-keys only that
+    predictor's bitmaps -- every other task's entries are shared across
+    grid points.  Unknown tasks project onto every field, which keeps
+    the old conservative behaviour for predictors without a
+    declaration.
     """
-    return f"{task}|{config!r}"
+    from repro.analysis.config import task_config_key
+
+    return f"{task}|{task_config_key(task, config)}"
 
 
 def default_cache_dir() -> Path:

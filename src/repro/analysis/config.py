@@ -24,7 +24,7 @@ defaults the experiments use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Optional
 
 from repro.correlation.selection import SelectionConfig
@@ -101,3 +101,53 @@ class LabConfig:
 
 #: The configuration every experiment module uses unless told otherwise.
 DEFAULT_CONFIG = LabConfig()
+
+
+#: Which LabConfig fields each simulation task's result depends on.
+#: Static predictors (loop, block, ideal_static, fixed_best) take no
+#: sizing at all, so their entries are empty: their bitmaps are valid
+#: under *every* configuration, which is what lets a sweep over, say,
+#: gshare_history_bits share their cache entries across grid points.
+TASK_CONFIG_FIELDS = {
+    "gshare": ("gshare_history_bits", "gshare_pht_bits"),
+    "if_gshare": ("if_gshare_history_bits",),
+    "pas": ("pas_history_bits", "pas_bht_bits"),
+    "if_pas": ("if_pas_history_bits",),
+    "loop": (),
+    "block": (),
+    "ideal_static": (),
+    "fixed_best": (),
+    "correlation": ("collection_window",),
+}
+
+#: Fields a ``selective_{count}_{window}`` task depends on (the window
+#: itself is part of the task name; the candidate pool and collection
+#: depth come from the config).
+_SELECTIVE_FIELDS = ("selective_top_k", "collection_window")
+
+
+def task_config_fields(task: str):
+    """The LabConfig fields ``task``'s result is a function of.
+
+    Unknown task names fall back to *every* field -- conservative, so a
+    predictor added without a projection entry can never alias another
+    configuration's cache entry.
+    """
+    if task in TASK_CONFIG_FIELDS:
+        return TASK_CONFIG_FIELDS[task]
+    if task.startswith("selective_"):
+        return _SELECTIVE_FIELDS
+    return tuple(f.name for f in fields(LabConfig))
+
+
+def task_config_key(task: str, config: "LabConfig") -> str:
+    """Canonical ``field=value`` projection of ``config`` onto ``task``.
+
+    This string is what the result cache keys bitmaps by: two configs
+    that agree on the fields ``task`` actually reads produce the same
+    key, so sweep points share every unaffected entry.
+    """
+    parts = ", ".join(
+        f"{name}={getattr(config, name)}" for name in task_config_fields(task)
+    )
+    return f"{task}({parts})"

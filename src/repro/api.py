@@ -17,18 +17,24 @@ against the facade and results produced by ``repro report`` are
 interchangeable.  The deep paths keep working -- the facade re-exports,
 it does not move code.
 
-:func:`run_report` is the instrumented entry point: it scopes the
-global metrics registry, traces every stage, assembles the
-schema-versioned run manifest that ``repro report`` writes to
-``run_manifest.json``, and hosts the resilience layer -- per-task
-retries ride inside the engine, completed experiments are journaled as
-they finish, ``resume=True`` replays journaled results bit-identically,
-and a failing experiment becomes a structured failure in
-:attr:`ReportRun.failures` instead of a mid-run traceback.
+The execution core is spec-driven: a
+:class:`~repro.spec.RunSpec` describes the run, a
+:class:`~repro.plan.Plan` expands it into the task graph, and
+:func:`run_spec` executes the plan through the instrumented engine --
+it scopes the global metrics registry, traces every stage, primes
+exactly the simulations the planned experiments declared, assembles
+the schema-versioned run manifest, and hosts the resilience layer
+(per-task retries, journal checkpointing, ``resume``, structured
+failures).  :func:`run_sweep` runs a swept spec point by point over
+one shared cache and journal, writing a manifest per grid point.
+:func:`run_report` remains as the legacy keyword surface: it builds
+the equivalent spec (same digest, same manifest, same journal keys)
+and delegates.
 """
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
@@ -50,23 +56,35 @@ from repro.experiments.base import (
 from repro.obs.manifest import build_manifest, write_manifest
 from repro.obs.metrics import METRICS
 from repro.obs.tracing import TRACER
+from repro.plan import Plan, build_plan
 from repro.resilience.faults import FaultInjector
-from repro.resilience.journal import RunJournal, run_key
+from repro.resilience.journal import RunJournal, spec_run_key
 from repro.resilience.retry import RetryPolicy
+from repro.spec import EngineOptions, RunSpec, SweepSpec, WorkloadSpec, spec_from_kwargs
 from repro.trace.trace import Trace
 from repro.workloads.suite import load_suite
 
 __all__ = [
     "EXPERIMENT_IDS",
     "EXTENSION_IDS",
+    "EngineOptions",
     "Lab",
     "LabConfig",
+    "Plan",
+    "PointRun",
     "ReportRun",
+    "RunSpec",
+    "SweepRun",
+    "SweepSpec",
+    "WorkloadSpec",
     "build_labs",
+    "build_plan",
     "generate_suite",
     "prime_labs",
     "run_experiment",
     "run_report",
+    "run_spec",
+    "run_sweep",
 ]
 
 
@@ -83,7 +101,7 @@ def generate_suite(
 
 @dataclass
 class ReportRun:
-    """Everything one :func:`run_report` invocation produced.
+    """Everything one report run (or one sweep point) produced.
 
     Attributes:
         results: Experiment id -> result, in run order.
@@ -93,6 +111,8 @@ class ReportRun:
             written to disk when ``manifest_out`` was given).
         metrics: The run's metric delta -- counters/gauges/timers that
             happened during this run only.
+        spec: The executed single-point :class:`RunSpec` (None only for
+            hand-built instances).
     """
 
     results: Dict[str, ExperimentResult] = field(default_factory=dict)
@@ -101,11 +121,46 @@ class ReportRun:
     metrics: Dict[str, Any] = field(default_factory=dict)
     failures: List[Dict[str, Any]] = field(default_factory=list)
     replayed: List[str] = field(default_factory=list)
+    spec: Optional[RunSpec] = None
 
     @property
     def ok(self) -> bool:
         """True when every task and experiment completed cleanly."""
         return not self.failures
+
+
+@dataclass
+class PointRun:
+    """One executed sweep point: its coordinates, spec and report."""
+
+    coords: Dict[str, int]
+    spec: RunSpec
+    report: ReportRun
+    manifest_path: Optional[str] = None
+
+
+@dataclass
+class SweepRun:
+    """Everything one :func:`run_sweep` invocation produced.
+
+    Attributes:
+        spec: The swept spec as submitted.
+        points: One :class:`PointRun` per grid point, in grid order.
+        summary: The rendered summary table (also echoed).
+        summary_path: Where the JSON summary was written, if anywhere.
+        metrics: The whole sweep's metric delta.
+    """
+
+    spec: RunSpec
+    points: List[PointRun] = field(default_factory=list)
+    summary: str = ""
+    summary_path: Optional[str] = None
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every point completed cleanly."""
+        return all(point.report.ok for point in self.points)
 
 
 def _resolve_cache(
@@ -137,6 +192,461 @@ def _install_sigterm_handler():
         return None
 
 
+def _validate_experiments(spec: RunSpec) -> None:
+    known = set(EXPERIMENT_IDS) | set(EXTENSION_IDS)
+    for experiment_id in spec.experiments:
+        if experiment_id not in known:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; choose from "
+                f"{sorted(known)}"
+            )
+
+
+@dataclass
+class _Engine:
+    """Resolved engine objects shared by every point of one invocation."""
+
+    cache: Optional[ResultCache]
+    jobs: int
+    policy: RetryPolicy
+    injector: FaultInjector
+    journal: Optional[RunJournal]
+    resume: bool
+
+    @classmethod
+    def resolve(cls, options: EngineOptions) -> "_Engine":
+        return cls(
+            cache=_resolve_cache(options.cache, options.cache_dir),
+            jobs=resolve_jobs(
+                options.jobs if options.jobs is None else int(options.jobs)
+            ),
+            policy=RetryPolicy.resolve(options.retries, options.task_timeout),
+            injector=(
+                FaultInjector.from_spec(options.fault_spec)
+                if options.fault_spec is not None
+                else FaultInjector.from_env()
+            ),
+            journal=(
+                RunJournal(options.journal, fresh=not options.resume)
+                if options.journal
+                else None
+            ),
+            resume=options.resume,
+        )
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+
+def _run_point(
+    point_spec: RunSpec,
+    coords: Dict[str, int],
+    *,
+    sims: tuple,
+    engine: _Engine,
+    command: Optional[List[str]],
+    say: Callable[[str], None],
+    span_name: str = "report",
+) -> ReportRun:
+    """Execute one plan point through the instrumented engine.
+
+    This is the body every entry point shares: build/prime labs for
+    exactly the planned simulation tasks, replay journaled experiments
+    under this point's run key, run the rest (a failing experiment
+    becomes a structured failure, not a traceback), and assemble the
+    manifest.  The caller owns TRACER lifetime, the SIGTERM handler,
+    the journal's close, and all file outputs.
+    """
+    failures: List[Dict[str, Any]] = []
+    replayed: List[str] = []
+    requested = list(dict.fromkeys(point_spec.experiments))
+    workload = point_spec.workload
+
+    baseline = METRICS.snapshot()
+    run_start = time.perf_counter()
+    with TRACER.span(span_name, experiments=",".join(requested)):
+        say("building workload traces...")
+        build_start = time.perf_counter()
+        labs = build_labs(
+            workload.max_length,
+            point_spec.config,
+            workload.seed,
+            jobs=engine.jobs,
+            cache=engine.cache,
+            policy=engine.policy,
+            injector=engine.injector,
+            failures=failures,
+            tasks=sims,
+            benchmarks=workload.benchmarks,
+        )
+        build_seconds = time.perf_counter() - build_start
+        total = sum(len(lab.trace) for lab in labs.values())
+        say(f"  {len(labs)} benchmarks, {total} dynamic branches")
+        if engine.cache is not None:
+            say(f"  cache: {engine.cache.root} ({engine.cache.stats.summary()})")
+        say(f"  jobs: {engine.jobs}\n")
+
+        key = spec_run_key(point_spec.input_digest(), labs)
+        journaled = (
+            engine.journal.load()
+            if (engine.journal and engine.resume)
+            else {}
+        )
+
+        results: Dict[str, ExperimentResult] = {}
+        experiment_timings: List[dict] = []
+        for experiment_id in requested:
+            entry = journaled.get((experiment_id, key))
+            if entry is not None:
+                results[experiment_id] = ReplayedResult(
+                    entry["payload"], entry["render"]
+                )
+                experiment_timings.append(
+                    {"id": experiment_id, "seconds": 0.0}
+                )
+                replayed.append(experiment_id)
+                METRICS.inc("resilience.replayed")
+                say(f"{experiment_id}: replayed from journal\n")
+                continue
+            say(f"running {experiment_id}...")
+            experiment_start = time.perf_counter()
+            try:
+                result = run_experiment(experiment_id, labs)
+            except KeyboardInterrupt:
+                raise
+            except Exception as error:
+                METRICS.inc("resilience.experiment_failures")
+                failures.append({
+                    "scope": "experiment",
+                    "experiment_id": experiment_id,
+                    "kind": "error",
+                    "message": f"{type(error).__name__}: {error}",
+                })
+                say(
+                    f"  {experiment_id} FAILED "
+                    f"({type(error).__name__}: {error}); continuing\n"
+                )
+                continue
+            experiment_timings.append({
+                "id": experiment_id,
+                "seconds": time.perf_counter() - experiment_start,
+            })
+            results[experiment_id] = result
+            if engine.journal is not None:
+                engine.journal.record(experiment_id, key, result)
+            say(f"\n{result}\n")
+
+    metrics_delta = METRICS.delta_since(baseline)
+    manifest = build_manifest(
+        command=command,
+        config=point_spec.config,
+        run_seed=workload.seed,
+        max_length=workload.max_length,
+        jobs=engine.jobs,
+        cache_enabled=engine.cache is not None,
+        cache_dir=str(engine.cache.root) if engine.cache is not None else None,
+        labs=labs,
+        results=results,
+        experiment_timings=experiment_timings,
+        metrics=metrics_delta,
+        timings={
+            "build_labs_seconds": build_seconds,
+            "total_seconds": time.perf_counter() - run_start,
+        },
+        resilience={
+            "failures": failures,
+            "resumed": bool(engine.resume),
+            "replayed": replayed,
+            "journal": (
+                engine.journal.path if engine.journal is not None else None
+            ),
+        },
+        spec_digest=point_spec.digest(),
+        sweep=dict(coords) if coords else None,
+    )
+    return ReportRun(
+        results=results,
+        labs=labs,
+        manifest=manifest,
+        metrics=metrics_delta,
+        failures=failures,
+        replayed=replayed,
+        spec=point_spec,
+    )
+
+
+def run_spec(
+    spec: RunSpec,
+    *,
+    json_out: Optional[str] = None,
+    manifest_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    trace_out: Optional[str] = None,
+    manifest_dir: Optional[str] = None,
+    summary_out: Optional[str] = None,
+    command: Optional[List[str]] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> Union[ReportRun, "SweepRun"]:
+    """Execute a :class:`RunSpec` end to end.
+
+    The spec is the single source of truth: what to simulate comes from
+    its workload/config/experiments, how to execute from its engine
+    options.  A swept spec is delegated to :func:`run_sweep` (the
+    ``manifest_dir``/``summary_out`` arguments apply there; ``json_out``
+    and ``manifest_out`` apply to plain runs).
+
+    Args:
+        spec: The run description (see :mod:`repro.spec`).
+        json_out: Also export the results as JSON to this path.
+        manifest_out: Write the run manifest JSON to this path.
+        metrics_out: Write the run's metric delta JSON to this path.
+        trace_out: Write the run's Chrome-trace span JSON to this path.
+        manifest_dir: Sweep runs: directory for per-point manifests.
+        summary_out: Sweep runs: path for the JSON summary.
+        command: The argv that launched the run, recorded in the
+            manifest (None for library use).
+        echo: Progress sink (e.g. ``print``); None runs silently.
+
+    Returns:
+        A :class:`ReportRun` (plain spec) or :class:`SweepRun` (swept
+        spec).
+
+    Raises:
+        KeyError: On an unknown experiment id.
+        ValueError: On a malformed fault spec, or hang faults without a
+            task timeout.
+    """
+    if spec.sweep is not None:
+        return run_sweep(
+            spec,
+            manifest_dir=manifest_dir,
+            summary_out=summary_out,
+            metrics_out=metrics_out,
+            trace_out=trace_out,
+            command=command,
+            echo=echo,
+        )
+    say = echo if echo is not None else (lambda message: None)
+    _validate_experiments(spec)
+    engine = _Engine.resolve(spec.engine)
+    plan = build_plan(spec)
+
+    TRACER.reset()
+    previous_sigterm = _install_sigterm_handler()
+    try:
+        run = _run_point(
+            spec,
+            {},
+            sims=plan.sim_task_names(0),
+            engine=engine,
+            command=command,
+            say=say,
+        )
+    finally:
+        # The journal appends durably as each experiment completes, so
+        # an interrupt here loses nothing already finished.
+        engine.close()
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+
+    if json_out:
+        from repro.experiments.export import export_results
+
+        export_results(run.results, json_out)
+        say(f"JSON results written to {json_out}")
+    if manifest_out:
+        write_manifest(run.manifest, manifest_out)
+        say(f"run manifest written to {manifest_out}")
+    if metrics_out:
+        _write_json(run.metrics, metrics_out)
+        say(f"metrics written to {metrics_out}")
+    if trace_out:
+        TRACER.write(trace_out)
+        say(f"span trace written to {trace_out}")
+    if engine.cache is not None:
+        say(f"cache: {engine.cache.stats.summary()}")
+    if run.failures:
+        say(
+            f"run finished with {len(run.failures)} failure(s); see the "
+            "manifest's resilience section"
+        )
+    return run
+
+
+def _point_manifest_name(index: int, coords: Dict[str, int]) -> str:
+    slug = "".join(
+        f"_{name}-{value}" for name, value in sorted(coords.items())
+    )
+    return f"manifest_p{index}{slug}.json"
+
+
+def _sweep_summary(spec: RunSpec, points: List[PointRun]) -> dict:
+    return {
+        "schema_version": 1,
+        "kind": "repro.sweep_summary",
+        "spec_digest": spec.digest(),
+        "axes": (
+            {} if spec.sweep is None
+            else {name: list(values) for name, values in spec.sweep.axes}
+        ),
+        "points": [
+            {
+                "coords": dict(point.coords),
+                "spec_digest": point.spec.digest(),
+                "manifest": point.manifest_path,
+                "experiments": sorted(point.report.results),
+                "replayed": list(point.report.replayed),
+                "failures": len(point.report.failures),
+            }
+            for point in points
+        ],
+    }
+
+
+def _sweep_summary_table(spec: RunSpec, points: List[PointRun]) -> str:
+    header = f"{'point':<7}{'coordinates':<40}{'spec digest':<34}{'ok':<4}"
+    lines = [
+        f"sweep of {len(points)} point(s), spec {spec.digest()}",
+        header,
+        "-" * len(header),
+    ]
+    for index, point in enumerate(points):
+        where = (
+            ", ".join(f"{k}={v}" for k, v in sorted(point.coords.items()))
+            or "base config"
+        )
+        ok = "yes" if point.report.ok else f"{len(point.report.failures)}!"
+        lines.append(
+            f"{index:<7}{where:<40}{point.spec.digest():<34}{ok:<4}"
+        )
+    return "\n".join(lines)
+
+
+def _write_json(payload: Any, path: str) -> None:
+    import json as _json
+
+    with open(path, "w") as fh:
+        _json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def run_sweep(
+    spec: RunSpec,
+    *,
+    manifest_dir: Optional[str] = None,
+    summary_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    trace_out: Optional[str] = None,
+    command: Optional[List[str]] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> SweepRun:
+    """Execute a swept spec point by point over one shared engine.
+
+    One plan is built for the whole grid; every point primes exactly
+    its planned simulations against the *same* cache, so artefacts the
+    sweep's axes don't touch (traces, unaffected predictors) are
+    computed once and served as hits everywhere else -- the cache
+    counters in each point's manifest show the sharing.  One journal
+    (``spec.engine.journal``) checkpoints all points under per-point
+    run keys, so ``resume`` finishes a killed sweep bit-identically.
+
+    Args:
+        spec: A spec with a non-None ``sweep``.
+        manifest_dir: Directory for per-point manifests plus
+            ``sweep_summary.json`` (created if missing; None writes no
+            files).
+        summary_out: Override path for the JSON summary.
+        metrics_out: Write the whole sweep's metric delta JSON here.
+        trace_out: Write the whole sweep's Chrome-trace JSON here.
+        command: The argv that launched the sweep.
+        echo: Progress sink; None runs silently.
+
+    Raises:
+        ValueError: If the spec has no sweep.
+        KeyError: On an unknown experiment id.
+    """
+    if spec.sweep is None:
+        raise ValueError("run_sweep requires a spec with a sweep section")
+    say = echo if echo is not None else (lambda message: None)
+    _validate_experiments(spec)
+    engine = _Engine.resolve(spec.engine)
+    plan = build_plan(spec)
+    stats = plan.stats()
+    say(
+        f"sweep: {len(plan.points)} points, {stats['total']} planned tasks "
+        f"({stats['deduped']} deduped across points)\n"
+    )
+
+    TRACER.reset()
+    baseline = METRICS.snapshot()
+    previous_sigterm = _install_sigterm_handler()
+    points: List[PointRun] = []
+    try:
+        with TRACER.span("sweep", points=str(len(plan.points))):
+            for index, (coords, point_spec) in enumerate(plan.points):
+                where = (
+                    ", ".join(f"{k}={v}" for k, v in sorted(coords.items()))
+                    or "base config"
+                )
+                say(f"=== point {index + 1}/{len(plan.points)}: {where} ===")
+                run = _run_point(
+                    point_spec,
+                    coords,
+                    sims=plan.sim_task_names(index),
+                    engine=engine,
+                    command=command,
+                    say=say,
+                    span_name="point",
+                )
+                manifest_path = None
+                if manifest_dir:
+                    os.makedirs(manifest_dir, exist_ok=True)
+                    manifest_path = os.path.join(
+                        manifest_dir, _point_manifest_name(index, coords)
+                    )
+                    write_manifest(run.manifest, manifest_path)
+                    say(f"point manifest written to {manifest_path}\n")
+                points.append(
+                    PointRun(
+                        coords=dict(coords),
+                        spec=point_spec,
+                        report=run,
+                        manifest_path=manifest_path,
+                    )
+                )
+    finally:
+        engine.close()
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+
+    summary = _sweep_summary_table(spec, points)
+    say(summary + "\n")
+    summary_path = summary_out
+    if summary_path is None and manifest_dir:
+        summary_path = os.path.join(manifest_dir, "sweep_summary.json")
+    if summary_path:
+        _write_json(_sweep_summary(spec, points), summary_path)
+        say(f"sweep summary written to {summary_path}")
+
+    metrics_delta = METRICS.delta_since(baseline)
+    if metrics_out:
+        _write_json(metrics_delta, metrics_out)
+        say(f"metrics written to {metrics_out}")
+    if trace_out:
+        TRACER.write(trace_out)
+        say(f"span trace written to {trace_out}")
+    if engine.cache is not None:
+        say(f"cache: {engine.cache.stats.summary()}")
+    return SweepRun(
+        spec=spec,
+        points=points,
+        summary=summary,
+        summary_path=summary_path,
+        metrics=metrics_delta,
+    )
+
+
 def run_report(
     experiments: Optional[List[str]] = None,
     *,
@@ -160,8 +670,11 @@ def run_report(
 ) -> ReportRun:
     """Run experiments end to end: labs, simulations, results, manifest.
 
-    This is what ``repro report`` / ``repro all`` execute; library users
-    get the identical instrumented pipeline.
+    Deprecated keyword surface over :func:`run_spec`: the kwargs are
+    folded into the equivalent :class:`RunSpec` (identical digest,
+    manifest and journal keys) and executed by the same engine, so
+    ``repro report`` flags and ``repro run spec.json`` files are
+    interchangeable.  Prefer constructing a spec directly in new code.
 
     Args:
         experiments: Experiment ids to run, in order (default: the nine
@@ -204,167 +717,29 @@ def run_report(
         ValueError: On a malformed fault spec, or hang faults without a
             task timeout.
     """
-    say = echo if echo is not None else (lambda message: None)
-    if config is None:
-        config = DEFAULT_CONFIG
-    requested = list(
-        dict.fromkeys(experiments if experiments is not None else EXPERIMENT_IDS)
-    )
-    known = set(EXPERIMENT_IDS) | set(EXTENSION_IDS)
-    for experiment_id in requested:
-        if experiment_id not in known:
-            raise KeyError(
-                f"unknown experiment {experiment_id!r}; choose from "
-                f"{sorted(known)}"
-            )
-
-    cache = _resolve_cache(use_cache, cache_dir)
-    jobs = resolve_jobs(jobs if jobs is None else int(jobs))
-    policy = RetryPolicy.resolve(retries, task_timeout)
-    injector = (
-        FaultInjector.from_spec(fault_spec)
-        if fault_spec is not None
-        else FaultInjector.from_env()
-    )
-    journal = (
-        RunJournal(journal_path, fresh=not resume) if journal_path else None
-    )
-    failures: List[Dict[str, Any]] = []
-    replayed: List[str] = []
-
-    TRACER.reset()
-    baseline = METRICS.snapshot()
-    run_start = time.perf_counter()
-    previous_sigterm = _install_sigterm_handler()
-    try:
-        with TRACER.span("report", experiments=",".join(requested)):
-            say("building workload traces...")
-            build_start = time.perf_counter()
-            labs = build_labs(
-                max_length,
-                config,
-                seed,
-                jobs=jobs,
-                cache=cache,
-                policy=policy,
-                injector=injector,
-                failures=failures,
-            )
-            build_seconds = time.perf_counter() - build_start
-            total = sum(len(lab.trace) for lab in labs.values())
-            say(f"  {len(labs)} benchmarks, {total} dynamic branches")
-            if cache is not None:
-                say(f"  cache: {cache.root} ({cache.stats.summary()})")
-            say(f"  jobs: {jobs}\n")
-
-            key = run_key(config, seed, labs)
-            journaled = journal.load() if (journal and resume) else {}
-
-            results: Dict[str, ExperimentResult] = {}
-            experiment_timings: List[dict] = []
-            for experiment_id in requested:
-                entry = journaled.get((experiment_id, key))
-                if entry is not None:
-                    results[experiment_id] = ReplayedResult(
-                        entry["payload"], entry["render"]
-                    )
-                    experiment_timings.append(
-                        {"id": experiment_id, "seconds": 0.0}
-                    )
-                    replayed.append(experiment_id)
-                    METRICS.inc("resilience.replayed")
-                    say(f"{experiment_id}: replayed from journal\n")
-                    continue
-                say(f"running {experiment_id}...")
-                experiment_start = time.perf_counter()
-                try:
-                    result = run_experiment(experiment_id, labs)
-                except KeyboardInterrupt:
-                    raise
-                except Exception as error:
-                    METRICS.inc("resilience.experiment_failures")
-                    failures.append({
-                        "scope": "experiment",
-                        "experiment_id": experiment_id,
-                        "kind": "error",
-                        "message": f"{type(error).__name__}: {error}",
-                    })
-                    say(
-                        f"  {experiment_id} FAILED "
-                        f"({type(error).__name__}: {error}); continuing\n"
-                    )
-                    continue
-                experiment_timings.append({
-                    "id": experiment_id,
-                    "seconds": time.perf_counter() - experiment_start,
-                })
-                results[experiment_id] = result
-                if journal is not None:
-                    journal.record(experiment_id, key, result)
-                say(f"\n{result}\n")
-    finally:
-        # The journal appends durably as each experiment completes, so
-        # an interrupt here loses nothing already finished.
-        if journal is not None:
-            journal.close()
-        if previous_sigterm is not None:
-            signal.signal(signal.SIGTERM, previous_sigterm)
-
-    if json_out:
-        from repro.experiments.export import export_results
-
-        export_results(results, json_out)
-        say(f"JSON results written to {json_out}")
-
-    metrics_delta = METRICS.delta_since(baseline)
-    manifest = build_manifest(
-        command=command,
-        config=config,
-        run_seed=seed,
+    spec = spec_from_kwargs(
+        experiments,
         max_length=max_length,
+        config=config if config is not None else DEFAULT_CONFIG,
+        seed=seed,
         jobs=jobs,
-        cache_enabled=cache is not None,
-        cache_dir=str(cache.root) if cache is not None else None,
-        labs=labs,
-        results=results,
-        experiment_timings=experiment_timings,
-        metrics=metrics_delta,
-        timings={
-            "build_labs_seconds": build_seconds,
-            "total_seconds": time.perf_counter() - run_start,
-        },
-        resilience={
-            "failures": failures,
-            "resumed": bool(resume),
-            "replayed": replayed,
-            "journal": journal.path if journal is not None else None,
-        },
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        retries=retries,
+        task_timeout=task_timeout,
+        fault_spec=fault_spec,
+        journal_path=journal_path,
+        resume=resume,
     )
-    if manifest_out:
-        write_manifest(manifest, manifest_out)
-        say(f"run manifest written to {manifest_out}")
-    if metrics_out:
-        import json as _json
+    run = run_spec(
+        spec,
+        json_out=json_out,
+        manifest_out=manifest_out,
+        metrics_out=metrics_out,
+        trace_out=trace_out,
+        command=command,
+        echo=echo,
+    )
+    assert isinstance(run, ReportRun)
+    return run
 
-        with open(metrics_out, "w") as fh:
-            _json.dump(metrics_delta, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        say(f"metrics written to {metrics_out}")
-    if trace_out:
-        TRACER.write(trace_out)
-        say(f"span trace written to {trace_out}")
-    if cache is not None:
-        say(f"cache: {cache.stats.summary()}")
-    if failures:
-        say(
-            f"run finished with {len(failures)} failure(s); see the "
-            "manifest's resilience section"
-        )
-    return ReportRun(
-        results=results,
-        labs=labs,
-        manifest=manifest,
-        metrics=metrics_delta,
-        failures=failures,
-        replayed=replayed,
-    )

@@ -17,9 +17,15 @@ Examples::
     repro report --resume        # replay journaled results after a kill
     repro report --retries 3 --task-timeout 120   # resilience knobs
     repro report --inject-fault gshare:1:crash    # deterministic chaos
+    repro report --emit-spec spec.json # write the equivalent RunSpec
+    repro run spec.json          # execute a declarative run spec
+    repro plan spec.json         # show the task graph, run nothing
+    repro sweep spec.json        # execute a spec's config sweep
+    repro sweep --experiments fig9 --axis gshare_history_bits=8,16
     repro obs show run_manifest.json   # inspect/validate a manifest
     repro cache stats            # inspect the result cache
     repro cache clear            # reclaim the cache directory
+    repro --version              # package version
     python -m repro all          # equivalent module form
     python -m repro check        # static verification (repro.check)
 
@@ -41,9 +47,18 @@ import time
 from typing import List, Optional
 
 from repro.analysis.config import LabConfig
-from repro.cliopts import DEFAULT_SEED, engine_parent, fault_spec_from_args
+from repro.cliopts import (
+    DEFAULT_SEED,
+    engine_parent,
+    fault_spec_from_args,
+    version_string,
+)
 from repro.experiments.base import EXPERIMENT_IDS, EXTENSION_IDS
 from repro.resilience.faults import FaultSpecError
+
+#: Where ``repro sweep`` puts per-point manifests unless
+#: ``--manifest-dir`` says otherwise.
+DEFAULT_SWEEP_DIR = "sweep_manifests"
 
 #: Where ``repro report`` / ``repro all`` put the run manifest unless
 #: ``--manifest-out`` says otherwise.
@@ -127,6 +142,15 @@ def _parser() -> argparse.ArgumentParser:
             "config/seed/trace digests) instead of re-running them"
         ),
     )
+    parser.add_argument(
+        "--emit-spec",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the RunSpec these flags describe to PATH and exit "
+            "without running (execute it later with 'repro run PATH')"
+        ),
+    )
     return parser
 
 
@@ -160,10 +184,358 @@ def _cache_main(argv: List[str]) -> int:
     return 0
 
 
+def _load_spec(path: str):
+    """Read a RunSpec file; returns (spec, None) or (None, exit code)."""
+    from repro.spec import RunSpec, SpecError
+
+    try:
+        return RunSpec.from_file(path), None
+    except OSError as error:
+        print(f"error: cannot read spec {path!r}: {error}", file=sys.stderr)
+        return None, 2
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None, 2
+
+
+def _engine_overrides(spec, args):
+    """Fold explicitly-given engine flags over a spec's engine options.
+
+    Only flags the user actually passed override the spec; everything
+    else keeps the spec file's value, so a spec is reproducible by
+    default and steerable when needed.
+    """
+    import dataclasses
+
+    updates = {}
+    if args.jobs is not None:
+        updates["jobs"] = args.jobs
+    if args.no_cache:
+        updates["cache"] = False
+    if args.cache_dir is not None:
+        updates["cache_dir"] = args.cache_dir
+    if args.retries is not None:
+        updates["retries"] = args.retries
+    if args.task_timeout is not None:
+        updates["task_timeout"] = args.task_timeout
+    fault_spec = fault_spec_from_args(args)
+    if fault_spec is not None:
+        updates["fault_spec"] = fault_spec
+    journal = getattr(args, "journal", None)
+    if journal is not None:
+        updates["journal"] = journal or None
+    if getattr(args, "resume", False):
+        updates["resume"] = True
+    if not updates:
+        return spec
+    return dataclasses.replace(
+        spec, engine=dataclasses.replace(spec.engine, **updates)
+    )
+
+
+def _finish(run) -> int:
+    """Map a finished ReportRun/SweepRun onto the CLI exit contract."""
+    from repro.api import SweepRun
+
+    failures = []
+    if isinstance(run, SweepRun):
+        for point in run.points:
+            failures.extend(point.report.failures)
+    else:
+        failures = run.failures
+    if failures:
+        for failure in failures:
+            scope = failure.get("scope", "task")
+            where = (
+                failure.get("experiment_id")
+                if scope == "experiment"
+                else f"{failure.get('benchmark')}/{failure.get('task')}"
+            )
+            print(
+                f"error: {scope} {where} failed "
+                f"[{failure.get('kind')}]: {failure.get('message')}",
+                file=sys.stderr,
+            )
+        print(
+            f"error: run finished with {len(failures)} recorded "
+            "failure(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _execute_spec(spec, argv: List[str], **outputs) -> int:
+    from repro.api import run_spec
+
+    start = time.time()
+    try:
+        run = run_spec(
+            spec,
+            command=["repro", *argv],
+            echo=lambda message: print(message, flush=True),
+            **outputs,
+        )
+    except FaultSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(
+            "interrupted; completed experiments are journaled -- "
+            "re-run with --resume to continue",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    print(f"done in {time.time() - start:.1f}s")
+    return _finish(run)
+
+
+def _run_main(argv: List[str]) -> int:
+    """``repro run SPEC``: execute a declarative run spec."""
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        parents=[engine_parent()],
+        description=(
+            "Execute a RunSpec JSON file (see docs/spec.md).  Engine "
+            "flags given here override the spec's engine section; the "
+            "run's identity (workload, config, experiments, sweep) "
+            "always comes from the file."
+        ),
+    )
+    parser.add_argument("spec", metavar="SPEC", help="RunSpec JSON file")
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also export the structured results as JSON to PATH",
+    )
+    parser.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help=(
+            f"write the run manifest to PATH (default "
+            f"{DEFAULT_MANIFEST_NAME}; empty value to suppress)"
+        ),
+    )
+    parser.add_argument(
+        "--manifest-dir", metavar="DIR", default=None,
+        help=(
+            "sweep specs: directory for per-point manifests (default "
+            f"{DEFAULT_SWEEP_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="override the spec's journal path (empty value to disable)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay journaled results instead of re-running them",
+    )
+    args = parser.parse_args(argv)
+    spec, error_code = _load_spec(args.spec)
+    if spec is None:
+        return error_code
+    spec = _engine_overrides(spec, args)
+    if spec.sweep is not None:
+        return _execute_spec(
+            spec,
+            ["run", *argv],
+            manifest_dir=args.manifest_dir or DEFAULT_SWEEP_DIR,
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+        )
+    manifest_out = args.manifest_out
+    if manifest_out is None:
+        manifest_out = DEFAULT_MANIFEST_NAME
+    return _execute_spec(
+        spec,
+        ["run", *argv],
+        json_out=args.json,
+        manifest_out=manifest_out or None,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+    )
+
+
+def _parse_axis(text: str):
+    """Parse one ``--axis FIELD=V1,V2,...`` occurrence."""
+    name, _, values = text.partition("=")
+    if not name or not values:
+        raise ValueError(
+            f"--axis expects FIELD=V1,V2,... , got {text!r}"
+        )
+    try:
+        parsed = tuple(int(value) for value in values.split(","))
+    except ValueError:
+        raise ValueError(
+            f"--axis {name}: values must be integers, got {values!r}"
+        ) from None
+    return name, parsed
+
+
+def _sweep_main(argv: List[str]) -> int:
+    """``repro sweep``: grid a config axis over the experiment suite."""
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        parents=[engine_parent()],
+        description=(
+            "Run a config sweep: the same workload and experiments "
+            "evaluated at every point of a grid over LabConfig fields, "
+            "with one manifest per point plus a combined summary.  "
+            "Artefacts unaffected by the swept fields are computed "
+            "once and shared through the result cache."
+        ),
+    )
+    parser.add_argument(
+        "spec", metavar="SPEC", nargs="?", default=None,
+        help="optional RunSpec JSON file to sweep (axes may extend it)",
+    )
+    parser.add_argument(
+        "--axis", metavar="FIELD=V1,V2", action="append", default=None,
+        help=(
+            "sweep axis over a LabConfig field (repeatable; grids as "
+            "the cartesian product)"
+        ),
+    )
+    parser.add_argument(
+        "--experiments", metavar="IDS", default=None,
+        help=(
+            "comma-separated experiment ids when no spec file is given "
+            "(default: the nine paper artefacts)"
+        ),
+    )
+    parser.add_argument(
+        "--max-length", type=int, default=None,
+        help="trace scale anchor when no spec file is given",
+    )
+    parser.add_argument(
+        "--manifest-dir", metavar="DIR", default=DEFAULT_SWEEP_DIR,
+        help=(
+            "directory for per-point manifests and the sweep summary "
+            f"(default: {DEFAULT_SWEEP_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--summary-out", metavar="PATH", default=None,
+        help="override the JSON summary path",
+    )
+    parser.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help=(
+            f"journal path (default {DEFAULT_JOURNAL_NAME}; empty "
+            "value to disable)"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay journaled points instead of re-running them",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.spec import RunSpec, SpecError, SweepSpec, WorkloadSpec
+
+    if args.spec is not None:
+        spec, error_code = _load_spec(args.spec)
+        if spec is None:
+            return error_code
+    else:
+        experiments = (
+            tuple(
+                item for item in args.experiments.split(",") if item
+            )
+            if args.experiments
+            else EXPERIMENT_IDS
+        )
+        spec = RunSpec(
+            experiments=experiments,
+            workload=WorkloadSpec(
+                max_length=args.max_length, seed=args.seed
+            ),
+        )
+    try:
+        if args.axis:
+            axes = dict(spec.sweep.axes) if spec.sweep is not None else {}
+            for text in args.axis:
+                name, values = _parse_axis(text)
+                axes[name] = values
+            import dataclasses
+
+            spec = dataclasses.replace(
+                spec, sweep=SweepSpec(axes=tuple(axes.items()))
+            )
+    except (SpecError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if spec.sweep is None:
+        print(
+            "error: nothing to sweep -- pass --axis FIELD=V1,V2 or a "
+            "spec file with a sweep section",
+            file=sys.stderr,
+        )
+        return 2
+
+    # Sweeps journal by default: they are long enough to be worth
+    # resuming, and each point checkpoints under its own run key.
+    if args.journal is None and spec.engine.journal is None:
+        import dataclasses
+
+        spec = dataclasses.replace(
+            spec,
+            engine=dataclasses.replace(
+                spec.engine, journal=DEFAULT_JOURNAL_NAME
+            ),
+        )
+    spec = _engine_overrides(spec, args)
+    return _execute_spec(
+        spec,
+        ["sweep", *argv],
+        manifest_dir=args.manifest_dir or None,
+        summary_out=args.summary_out,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+    )
+
+
+def _plan_main(argv: List[str]) -> int:
+    """``repro plan SPEC``: print the task graph without running it."""
+    parser = argparse.ArgumentParser(
+        prog="repro plan",
+        description=(
+            "Expand a RunSpec into its task graph (traces, sims, "
+            "experiments, renders; deduped across sweep points) and "
+            "print it without executing anything."
+        ),
+    )
+    parser.add_argument("spec", metavar="SPEC", help="RunSpec JSON file")
+    args = parser.parse_args(argv)
+    spec, error_code = _load_spec(args.spec)
+    if spec is None:
+        return error_code
+    from repro.plan import build_plan
+
+    try:
+        plan = build_plan(spec)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    print(plan.describe())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "--version":
+        print(version_string("repro"))
+        return 0
+    if argv and argv[0] == "run":
+        return _run_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
+    if argv and argv[0] == "plan":
+        return _plan_main(argv[1:])
     if argv and argv[0] == "check":
         # Static analysis has its own argument set; dispatch before the
         # experiment parser sees it.
@@ -210,6 +582,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if journal is None and (wants_manifest or args.resume):
         journal = DEFAULT_JOURNAL_NAME
 
+    if args.emit_spec:
+        from repro.spec import spec_from_kwargs
+
+        spec = spec_from_kwargs(
+            requested,
+            max_length=args.max_length,
+            config=config,
+            seed=args.seed,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            retries=args.retries,
+            task_timeout=args.task_timeout,
+            fault_spec=fault_spec_from_args(args),
+            journal_path=journal or None,
+            resume=args.resume,
+        )
+        spec.to_file(args.emit_spec)
+        print(f"run spec written to {args.emit_spec} ({spec.digest()})")
+        return 0
+
     from repro.api import run_report
 
     start = time.time()
@@ -246,32 +639,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return EXIT_INTERRUPTED
     print(f"done in {time.time() - start:.1f}s")
-    if run.failures:
-        for failure in run.failures:
-            scope = failure.get("scope", "task")
-            where = (
-                failure.get("experiment_id")
-                if scope == "experiment"
-                else f"{failure.get('benchmark')}/{failure.get('task')}"
-            )
-            print(
-                f"error: {scope} {where} failed "
-                f"[{failure.get('kind')}]: {failure.get('message')}",
-                file=sys.stderr,
-            )
-        print(
-            f"error: run finished with {len(run.failures)} recorded "
-            "failure(s)",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
+    return _finish(run)
 
 
 __all__ = [
     "DEFAULT_JOURNAL_NAME",
     "DEFAULT_MANIFEST_NAME",
     "DEFAULT_SEED",
+    "DEFAULT_SWEEP_DIR",
     "EXIT_INTERRUPTED",
     "main",
 ]

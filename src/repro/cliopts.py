@@ -31,6 +31,28 @@ import json
 DEFAULT_SEED = 12345
 
 
+def package_version() -> str:
+    """The installed package version, from metadata when available.
+
+    An editable/installed package answers from ``importlib.metadata``;
+    a bare ``PYTHONPATH=src`` checkout falls back to
+    ``repro.__version__``.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+
+
+def version_string(prog: str) -> str:
+    """What ``<prog> --version`` prints."""
+    return f"{prog} {package_version()}"
+
+
 def engine_parent() -> argparse.ArgumentParser:
     """The shared parent parser with every engine-level option."""
     parent = argparse.ArgumentParser(add_help=False)

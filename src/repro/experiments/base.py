@@ -98,17 +98,54 @@ class ReplayedResult(ExperimentResult):
 #: Registered experiment runners, keyed by experiment id.
 _REGISTRY: Dict[str, Callable[[Dict[str, Lab]], ExperimentResult]] = {}
 
+#: Simulation tasks each experiment declares it reads, keyed by id.
+_REQUIRES: Dict[str, tuple] = {}
 
-def register(experiment_id: str):
-    """Decorator registering an experiment runner under an id."""
+
+def register(experiment_id: str, requires: Optional[tuple] = None):
+    """Decorator registering an experiment runner under an id.
+
+    Args:
+        experiment_id: Stable id (``table1`` .. ``fig9``, ``ext_*``).
+        requires: The simulation task names this experiment's runner
+            reads from its labs (``()`` for an experiment that works
+            straight off the traces).  The planner uses these to prime
+            exactly the needed simulations; an experiment registered
+            without a declaration falls back to the full default task
+            set, which is always sufficient.
+    """
 
     def decorate(runner: Callable[[Dict[str, Lab]], ExperimentResult]):
         if experiment_id in _REGISTRY:
             raise ValueError(f"duplicate experiment id {experiment_id!r}")
         _REGISTRY[experiment_id] = runner
+        if requires is not None:
+            _REQUIRES[experiment_id] = tuple(requires)
         return runner
 
     return decorate
+
+
+def experiment_requires(experiment_id: str) -> tuple:
+    """The simulation tasks ``experiment_id`` declared it reads.
+
+    Falls back to the scheduler's full default task set for an
+    experiment with no declaration -- conservative but always correct.
+
+    Raises:
+        KeyError: For an unregistered experiment id.
+    """
+    _ensure_registered()
+    if experiment_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{sorted(_REGISTRY)}"
+        )
+    if experiment_id in _REQUIRES:
+        return _REQUIRES[experiment_id]
+    from repro.analysis.parallel import DEFAULT_TASKS
+
+    return tuple(DEFAULT_TASKS)
 
 
 def build_labs(
@@ -121,6 +158,8 @@ def build_labs(
     policy: Optional[Any] = None,
     injector: Optional[Any] = None,
     failures: Optional[list] = None,
+    tasks: Optional[tuple] = None,
+    benchmarks: Optional[tuple] = None,
 ) -> Dict[str, Lab]:
     """One :class:`Lab` per suite benchmark, sharing a configuration.
 
@@ -140,10 +179,15 @@ def build_labs(
             (:class:`repro.resilience.FaultInjector`; None = no faults).
         failures: If given, structured task-failure dicts from the
             priming pass are appended here instead of raising.
+        tasks: Simulation-task subset to prime (None = the scheduler's
+            full default set).  Plan-driven runs pass exactly the tasks
+            their experiments declared.
+        benchmarks: Benchmark subset to build (None = the full suite,
+            :data:`~repro.workloads.suite.BENCHMARK_NAMES`).
     """
     labs = {}
     with span("build_labs", run_seed=run_seed):
-        for name in BENCHMARK_NAMES:
+        for name in (BENCHMARK_NAMES if benchmarks is None else benchmarks):
             length = scaled_length(name, max_length)
             trace = cache.load_trace(name, length, run_seed) if cache else None
             if trace is None:
@@ -152,13 +196,14 @@ def build_labs(
                     cache.store_trace(name, length, run_seed, trace)
             labs[name] = Lab(trace, config, cache=cache)
         if jobs is not None:
-            from repro.analysis.parallel import prime_labs
+            from repro.analysis.parallel import DEFAULT_TASKS, prime_labs
 
             prime_labs(
                 labs,
                 run_seed,
                 jobs=jobs,
                 cache=cache,
+                tasks=DEFAULT_TASKS if tasks is None else tuple(tasks),
                 policy=policy,
                 injector=injector,
                 failures=failures,

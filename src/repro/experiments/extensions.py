@@ -77,7 +77,7 @@ class ExtInterferenceResult(ExperimentResult):
         )
 
 
-@register("ext_interference")
+@register("ext_interference", requires=())
 def run_interference(labs: Dict[str, Lab]) -> ExtInterferenceResult:
     """Measure interference for the reference gshare on every benchmark."""
     rows = {}
@@ -119,7 +119,7 @@ class ExtHybridResult(ExperimentResult):
         )
 
 
-@register("ext_hybrid")
+@register("ext_hybrid", requires=("gshare", "pas"))
 def run_hybrid(labs: Dict[str, Lab]) -> ExtHybridResult:
     """Compare the implementable hybrid against components and oracle."""
     model = PipelineModel()
@@ -173,7 +173,7 @@ class ExtTaxonomyResult(ExperimentResult):
         )
 
 
-@register("ext_taxonomy")
+@register("ext_taxonomy", requires=("gshare", "pas", "if_gshare", "if_pas"))
 def run_taxonomy(labs: Dict[str, Lab]) -> ExtTaxonomyResult:
     """Simulate every taxonomy point with comparable budgets."""
     rows = {}
@@ -226,7 +226,7 @@ class ExtProfileResult(ExperimentResult):
         )
 
 
-@register("ext_profile")
+@register("ext_profile", requires=("pas",))
 def run_profile(labs: Dict[str, Lab]) -> ExtProfileResult:
     """Profile-based second levels, same-input and cross-input."""
     rows = {}
@@ -276,7 +276,7 @@ class ExtTrainingResult(ExperimentResult):
         return "\n".join(lines)
 
 
-@register("ext_training")
+@register("ext_training", requires=("gshare", "if_gshare", "correlation"))
 def run_training(labs: Dict[str, Lab]) -> ExtTrainingResult:
     """Warmup curves for gshare, IF-gshare, and the selective history."""
     from repro.analysis.warmup import warmup_curve

@@ -66,7 +66,7 @@ class Fig4Result(ExperimentResult):
         )
 
 
-@register("fig4")
+@register("fig4", requires=("gshare", "if_gshare", "correlation"))
 def run(labs: Dict[str, Lab]) -> Fig4Result:
     """Measure the five figure-4 series per benchmark."""
     rows = {}

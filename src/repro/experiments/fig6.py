@@ -49,7 +49,7 @@ class Fig6Result(ExperimentResult):
         )
 
 
-@register("fig6")
+@register("fig6", requires=("loop", "fixed_best", "block", "if_pas", "ideal_static"))
 def run(labs: Dict[str, Lab]) -> Fig6Result:
     """Classify every benchmark's branches into the section-4 classes."""
     return Fig6Result(

@@ -52,7 +52,7 @@ class Fig7Result(ExperimentResult):
         )
 
 
-@register("fig7")
+@register("fig7", requires=("gshare", "pas", "ideal_static"))
 def run(labs: Dict[str, Lab]) -> Fig7Result:
     """Best-of distribution over gshare / PAs / ideal static."""
     distributions = {}

@@ -54,7 +54,7 @@ class Fig8Result(ExperimentResult):
         )
 
 
-@register("fig8")
+@register("fig8", requires=("if_gshare", "loop", "fixed_best", "block", "if_pas", "ideal_static", "correlation"))
 def run(labs: Dict[str, Lab]) -> Fig8Result:
     """Best-of distribution over the global and per-address classes."""
     distributions = {}

@@ -60,7 +60,7 @@ class Fig9Result(ExperimentResult):
         )
 
 
-@register("fig9")
+@register("fig9", requires=("gshare", "pas"))
 def run(labs: Dict[str, Lab]) -> Fig9Result:
     """Percentile curves of gshare - PAs for every benchmark."""
     curves = {}

@@ -57,7 +57,7 @@ class Table1Result(ExperimentResult):
         )
 
 
-@register("table1")
+@register("table1", requires=())
 def run(labs: Dict[str, Lab]) -> Table1Result:
     """Build Table 1 from the suite labs."""
     rows = {}

@@ -79,7 +79,7 @@ class Table2Result(ExperimentResult):
         return f"{table}\n\npaper's Table 2 for reference:\n{paper}"
 
 
-@register("table2")
+@register("table2", requires=("gshare", "if_gshare", "correlation"))
 def run(labs: Dict[str, Lab]) -> Table2Result:
     """Build both oracle combiners per benchmark."""
     rows = {}

@@ -78,7 +78,7 @@ class Table3Result(ExperimentResult):
         return f"{table}\n\npaper's Table 3 for reference:\n{paper}"
 
 
-@register("table3")
+@register("table3", requires=("loop", "fixed_best", "block", "if_pas", "ideal_static", "pas"))
 def run(labs: Dict[str, Lab]) -> Table3Result:
     """Build the loop combiner against PAs and IF-PAs per benchmark."""
     rows = {}

@@ -28,7 +28,10 @@ from typing import Any, Dict, List, Optional
 #: Bump on any manifest layout or semantics change.
 #: v2 added the ``resilience`` section (retries, timeouts, injected
 #: faults, structured failures, resume accounting).
-MANIFEST_SCHEMA_VERSION = 2
+#: v3 added ``spec_digest`` (the RunSpec identity digest the run
+#: executed) and ``sweep`` (this manifest's sweep coordinates, or None
+#: for a plain run).
+MANIFEST_SCHEMA_VERSION = 3
 
 #: Discriminator so readers can reject non-manifest JSON early.
 MANIFEST_KIND = "repro.run_manifest"
@@ -72,6 +75,8 @@ def build_manifest(
     metrics: dict,
     timings: Dict[str, float],
     resilience: Optional[dict] = None,
+    spec_digest: Optional[str] = None,
+    sweep: Optional[dict] = None,
 ) -> dict:
     """Assemble the manifest dict for one finished report run.
 
@@ -92,6 +97,10 @@ def build_manifest(
             (``failures``, ``resumed``, ``replayed``, ``journal``);
             the counter-derived fields are filled in from ``metrics``
             either way.
+        spec_digest: The executed RunSpec's identity digest (None for
+            callers predating the spec layer).
+        sweep: This manifest's sweep coordinates as a ``{field: value}``
+            mapping (None for a plain, non-sweep run).
     """
     counters = metrics.get("counters", {})
     extra = resilience or {}
@@ -123,6 +132,8 @@ def build_manifest(
         "run_seed": int(run_seed),
         "max_length": None if max_length is None else int(max_length),
         "jobs": int(jobs),
+        "spec_digest": spec_digest,
+        "sweep": None if sweep is None else dict(sweep),
         "config_digest": config_digest(config),
         "config": {
             name: getattr(config, name)
@@ -176,6 +187,8 @@ _TOP_LEVEL_SPEC: Dict[str, tuple] = {
     "run_seed": (int,),
     "max_length": (int, type(None)),
     "jobs": (int,),
+    "spec_digest": (str, type(None)),
+    "sweep": (dict, type(None)),
     "config_digest": (str,),
     "config": (dict,),
     "cache": (dict,),
@@ -312,7 +325,14 @@ def read_manifest(path: str) -> dict:
 
 
 #: Sections expected to be identical between two equivalent runs.
-_DETERMINISTIC_KEYS = ("config_digest", "run_seed", "max_length", "traces")
+_DETERMINISTIC_KEYS = (
+    "spec_digest",
+    "sweep",
+    "config_digest",
+    "run_seed",
+    "max_length",
+    "traces",
+)
 
 
 def diff_manifests(first: dict, second: dict) -> List[str]:
@@ -356,6 +376,14 @@ def summarize_manifest(payload: dict) -> str:
         f"  jobs:        {payload.get('jobs')}",
         f"  config:      {payload.get('config_digest')}",
     ]
+    if payload.get("spec_digest"):
+        lines.append(f"  spec:        {payload['spec_digest']}")
+    if payload.get("sweep"):
+        coords = ", ".join(
+            f"{name}={value}"
+            for name, value in sorted(payload["sweep"].items())
+        )
+        lines.append(f"  sweep point: {coords}")
     cache = payload.get("cache", {})
     if cache.get("enabled"):
         ratio = cache.get("hit_ratio")

@@ -1,0 +1,280 @@
+"""Plan: the explicit task graph a :class:`~repro.spec.RunSpec` implies.
+
+A spec says *what* to compute; a plan says *which tasks* that takes.
+:func:`build_plan` expands a spec -- every sweep point included -- into
+a DAG of four task kinds:
+
+``trace``
+    Generate one benchmark trace (name, scale anchor, seed).
+``sim``
+    Simulate one predictor task over one trace.  Only the tasks the
+    point's experiments declared via ``register(..., requires=)`` are
+    planned; experiments without a declaration conservatively pull the
+    full default set.
+``experiment``
+    Run one registered experiment over the point's primed labs.
+``render``
+    Materialise one point's report/manifest from its experiment
+    results.
+
+Tasks carry content keys -- the same digests the result cache and
+journal use -- and the planner dedupes by them *across sweep points*:
+a trace is generated once per (name, length, seed) no matter how many
+points share it, and a sim whose config projection
+(:func:`repro.analysis.config.task_config_key`) is unaffected by the
+swept fields collapses onto the first point's task.  The deduped task
+records its ``deduped_from`` so tooling can show where the sharing
+happens; executors simply skip duplicates and let the shared cache
+entry serve every point.
+
+The executor (:func:`repro.api.run_spec`) consumes the plan per point:
+``sim_task_names(point)`` feeds ``prime_labs(tasks=...)`` so the
+existing supervisor -- scheduling, caching, retries, fault injection,
+journaling -- runs exactly the planned work.  ``repro plan spec.json``
+prints :meth:`Plan.describe` without executing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.config import task_config_key
+from repro.spec import RunSpec
+
+#: Task kinds in dependency order.
+TASK_KINDS = ("trace", "sim", "experiment", "render")
+
+
+@dataclass(frozen=True)
+class PlanTask:
+    """One node of the plan DAG.
+
+    Attributes:
+        id: Unique within the plan (``p0/sim/gcc/gshare``).
+        kind: One of :data:`TASK_KINDS`.
+        point: Index of the sweep point this task belongs to (0 for a
+            plain run).
+        key: Content key; two tasks with equal keys compute the same
+            artefact (the dedup criterion).
+        deps: Ids of tasks that must complete first.
+        benchmark: Benchmark name (trace/sim tasks).
+        task: Simulation task name (sim tasks).
+        experiment_id: Experiment id (experiment tasks).
+        deduped_from: Id of the earlier task this one shares its
+            artefact with, or None if it is the first of its key.
+    """
+
+    id: str
+    kind: str
+    point: int
+    key: str
+    deps: Tuple[str, ...] = ()
+    benchmark: Optional[str] = None
+    task: Optional[str] = None
+    experiment_id: Optional[str] = None
+    deduped_from: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The full task graph for a spec, points expanded in grid order."""
+
+    spec: RunSpec
+    points: Tuple[Tuple[Dict[str, int], RunSpec], ...]
+    tasks: Tuple[PlanTask, ...]
+    _by_id: Dict[str, PlanTask] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "_by_id", {task.id: task for task in self.tasks}
+        )
+
+    def task_by_id(self, task_id: str) -> PlanTask:
+        return self._by_id[task_id]
+
+    def point_tasks(self, point: int) -> List[PlanTask]:
+        return [task for task in self.tasks if task.point == point]
+
+    def sim_task_names(self, point: int) -> Tuple[str, ...]:
+        """Simulation task names point ``point`` needs, in plan order.
+
+        Includes deduped tasks: the point still *needs* the artefact,
+        it just expects to find it in the shared cache.
+        """
+        seen = []
+        for task in self.tasks:
+            if task.kind == "sim" and task.point == point:
+                if task.task not in seen:
+                    seen.append(task.task)
+        return tuple(seen)
+
+    def stats(self) -> Dict[str, int]:
+        """Task counts per kind, plus how many were deduped away."""
+        counts = {kind: 0 for kind in TASK_KINDS}
+        deduped = 0
+        for task in self.tasks:
+            counts[task.kind] += 1
+            if task.deduped_from is not None:
+                deduped += 1
+        counts["total"] = len(self.tasks)
+        counts["deduped"] = deduped
+        return counts
+
+    def describe(self) -> str:
+        """A human-readable dump of the graph (``repro plan``)."""
+        lines = []
+        stats = self.stats()
+        lines.append(
+            f"plan for spec {self.spec.digest()}: "
+            f"{len(self.points)} point(s), {stats['total']} tasks "
+            f"({stats['trace']} trace, {stats['sim']} sim, "
+            f"{stats['experiment']} experiment, {stats['render']} render; "
+            f"{stats['deduped']} deduped)"
+        )
+        for index, (coords, point_spec) in enumerate(self.points):
+            where = (
+                ", ".join(f"{k}={v}" for k, v in sorted(coords.items()))
+                or "base config"
+            )
+            lines.append(
+                f"  point {index} [{where}] spec {point_spec.digest()}"
+            )
+            for task in self.point_tasks(index):
+                suffix = (
+                    f"  (dedup -> {task.deduped_from})"
+                    if task.deduped_from
+                    else ""
+                )
+                deps = f"  deps={len(task.deps)}" if task.deps else ""
+                lines.append(f"    {task.kind:<10} {task.id}{deps}{suffix}")
+        return "\n".join(lines)
+
+
+def build_plan(spec: RunSpec) -> Plan:
+    """Expand a spec into its deduped task graph.
+
+    Expansion is deterministic: benchmarks in suite order, simulation
+    tasks in default-scheduler order, experiments in spec order, points
+    in grid order.  Dedup is by content key, first occurrence wins.
+
+    Raises:
+        KeyError: If the spec names an unregistered experiment.
+    """
+    from repro.analysis.parallel import DEFAULT_TASKS
+    from repro.experiments.base import experiment_requires
+    from repro.workloads.suite import BENCHMARK_NAMES
+
+    points = tuple(spec.expand_points())
+    benchmarks = (
+        spec.workload.benchmarks
+        if spec.workload.benchmarks is not None
+        else tuple(BENCHMARK_NAMES)
+    )
+    tasks: List[PlanTask] = []
+    first_by_key: Dict[str, str] = {}
+
+    def add(task: PlanTask) -> PlanTask:
+        if task.key in first_by_key and task.deduped_from is None:
+            task = PlanTask(
+                **{**task.__dict__, "deduped_from": first_by_key[task.key]}
+            )
+        first_by_key.setdefault(task.key, task.id)
+        tasks.append(task)
+        return task
+
+    for index, (coords, point_spec) in enumerate(points):
+        prefix = f"p{index}"
+        workload = point_spec.workload
+        # Every task the point's experiments declared, ordered like the
+        # scheduler's default set (unknown/selective names keep their
+        # declaration order at the end).
+        needed: List[str] = []
+        for experiment_id in point_spec.experiments:
+            for name in experiment_requires(experiment_id):
+                if name not in needed:
+                    needed.append(name)
+        needed.sort(
+            key=lambda name: (
+                DEFAULT_TASKS.index(name)
+                if name in DEFAULT_TASKS
+                else len(DEFAULT_TASKS)
+            )
+        )
+
+        trace_ids = {}
+        for name in benchmarks:
+            trace_key = (
+                f"trace|{name}|{workload.max_length}|{workload.seed}"
+            )
+            task = add(
+                PlanTask(
+                    id=f"{prefix}/trace/{name}",
+                    kind="trace",
+                    point=index,
+                    key=trace_key,
+                    benchmark=name,
+                )
+            )
+            trace_ids[name] = task.id
+
+        sim_ids: List[str] = []
+        for task_name in needed:
+            for name in benchmarks:
+                sim_key = (
+                    f"sim|{name}|{workload.max_length}|{workload.seed}"
+                    f"|{task_config_key(task_name, point_spec.config)}"
+                )
+                task = add(
+                    PlanTask(
+                        id=f"{prefix}/sim/{name}/{task_name}",
+                        kind="sim",
+                        point=index,
+                        key=sim_key,
+                        deps=(trace_ids[name],),
+                        benchmark=name,
+                        task=task_name,
+                    )
+                )
+                sim_ids.append(task.id)
+
+        experiment_ids = []
+        for experiment_id in point_spec.experiments:
+            required = experiment_requires(experiment_id)
+            deps = tuple(
+                task_id
+                for task_id in sim_ids
+                if tasks_by_id_task(task_id) in required
+            ) or tuple(trace_ids.values())
+            task = add(
+                PlanTask(
+                    id=f"{prefix}/experiment/{experiment_id}",
+                    kind="experiment",
+                    point=index,
+                    # Experiments rerun per point even when every input
+                    # is shared: the key includes the point digest.
+                    key=f"experiment|{experiment_id}|{point_spec.digest()}",
+                    deps=deps,
+                    experiment_id=experiment_id,
+                )
+            )
+            experiment_ids.append(task.id)
+
+        add(
+            PlanTask(
+                id=f"{prefix}/render",
+                kind="render",
+                point=index,
+                key=f"render|{point_spec.digest()}",
+                deps=tuple(experiment_ids),
+            )
+        )
+
+    return Plan(spec=spec, points=points, tasks=tuple(tasks))
+
+
+def tasks_by_id_task(task_id: str) -> str:
+    """The simulation task name embedded in a sim task id."""
+    return task_id.rsplit("/", 1)[-1]

@@ -4,9 +4,12 @@ The journal is an append-only JSONL file (``run_journal.jsonl`` by
 default) that ``repro report`` / ``repro all`` write one line to as
 each experiment *completes*.  Each line carries the experiment's full
 serialised result (its schema-versioned ``to_dict`` payload plus the
-rendered text) and is keyed by :func:`run_key` -- a digest of the lab
-configuration, the run seed and every benchmark trace digest, i.e. the
-same identity the result cache and the run manifest use.
+rendered text) and is keyed by :func:`spec_run_key` -- a digest of the
+run spec's input identity (workload + config) and every benchmark
+trace digest, i.e. the same identity the result cache and the run
+manifest use.  Each sweep point keys under its own digest, so one
+journal file checkpoints a whole sweep.  (:func:`run_key`, the
+pre-spec key over the raw config repr, remains for direct callers.)
 
 Crash safety comes from the append discipline: every record is one
 ``write + flush + fsync`` of a single line, so a kill at any instant
@@ -53,6 +56,29 @@ def run_key(config: Any, run_seed: int, labs: Dict[str, Any]) -> str:
     h.update(repr(config).encode())
     h.update(b"\x00")
     h.update(str(int(run_seed)).encode())
+    for name in sorted(labs):
+        trace = labs[name].trace
+        h.update(b"\x00")
+        h.update(name.encode())
+        h.update(b"\x00")
+        h.update(trace.digest().encode())
+    return h.hexdigest()
+
+
+def spec_run_key(input_digest: str, labs: Dict[str, Any]) -> str:
+    """Digest identifying a spec-driven run's inputs.
+
+    Keys off the :meth:`repro.spec.RunSpec.input_digest` (workload +
+    config identity) plus every benchmark trace digest, so each sweep
+    point journals under its own key -- ``--resume`` on a killed sweep
+    replays exactly the points (and experiments within them) that
+    finished.  The trace digests stay in the key even though the
+    workload identity already pins them: a workload-generator change
+    that alters traces for an unchanged spec must invalidate the
+    journal.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(input_digest.encode())
     for name in sorted(labs):
         trace = labs[name].trace
         h.update(b"\x00")

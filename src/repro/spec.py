@@ -1,0 +1,473 @@
+"""RunSpec: one frozen, serialisable description of "a run".
+
+Four PRs of engine growth accreted onto a kwarg-driven entry path --
+``api.run_report`` took a dozen loose parameters and ``repro`` mirrored
+them as flags, so there was no single object that *is* the run.  This
+module introduces it:
+
+* :class:`RunSpec` -- a frozen, schema-versioned dataclass capturing the
+  workload suite (:class:`WorkloadSpec`), the predictor sizing
+  (:class:`~repro.analysis.config.LabConfig`), the experiment ids, the
+  engine options (:class:`EngineOptions`: jobs, cache, retries,
+  timeouts, fault spec, journal/resume), and an optional
+  :class:`SweepSpec` gridding over ``LabConfig`` fields.
+* JSON round-trip -- :meth:`RunSpec.to_json` / :meth:`RunSpec.from_json`
+  with strict unknown-field rejection, so ``repro run spec.json`` and a
+  version-controlled spec file are first-class ways to launch a run.
+* :meth:`RunSpec.digest` -- a content digest of the run's *identity*
+  (workload, config, experiments, sweep).  Engine options deliberately
+  do not participate: ``--jobs 4`` changes how a run executes, never
+  what it computes, and the digest is the key the journal, the manifest
+  and the result cache compare runs by.
+
+The paper's own method is a sweep -- the same traces evaluated across
+predictor sizings (figures 4-9, tables 1-3) -- and :class:`SweepSpec`
+makes that grid the core experimental object: ``expand_points()`` turns
+one swept spec into per-point specs whose digests differ exactly in the
+swept fields.
+
+The legacy keyword surface remains as a shim: :func:`spec_from_kwargs`
+builds the identical spec ``run_report(**kwargs)`` always implied, so
+``run_report(max_length=20_000)`` and an explicit
+``RunSpec(workload=WorkloadSpec(max_length=20_000))`` share one digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.config import DEFAULT_CONFIG, LabConfig
+
+#: Bump on any spec layout or semantics change.
+SPEC_SCHEMA_VERSION = 1
+
+#: Discriminator so readers can reject non-spec JSON early.
+SPEC_KIND = "repro.runspec"
+
+#: LabConfig field names a spec (and a sweep axis) may set.
+CONFIG_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(LabConfig)
+)
+
+#: Sweep expansion modes: ``grid`` takes the cartesian product of the
+#: axes, ``zip`` pairs them element-wise (all axes must be equal length).
+SWEEP_MODES = ("grid", "zip")
+
+
+class SpecError(ValueError):
+    """A spec document or spec construction is malformed."""
+
+
+def _reject_unknown(payload: Dict[str, Any], allowed, context: str) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise SpecError(
+            f"{context}: unknown field(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+def _require(payload: Any, type_, context: str):
+    if not isinstance(payload, type_):
+        raise SpecError(
+            f"{context}: expected {type_.__name__}, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which traces a run simulates.
+
+    Attributes:
+        max_length: Scale anchor for the longest benchmark trace
+            (None = ``REPRO_TRACE_LENGTH`` or 200k); the others keep the
+            paper's proportions.
+        seed: Workload execution seed (the "input data set").
+        benchmarks: Benchmark subset, in suite order (None = the full
+            eight-benchmark paper suite).
+    """
+
+    max_length: Optional[int] = None
+    seed: int = 12345
+    benchmarks: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self):
+        if self.benchmarks is not None:
+            object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_length": self.max_length,
+            "seed": self.seed,
+            "benchmarks": (
+                None if self.benchmarks is None else list(self.benchmarks)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "WorkloadSpec":
+        _require(payload, dict, "workload")
+        _reject_unknown(
+            payload, ("max_length", "seed", "benchmarks"), "workload"
+        )
+        benchmarks = payload.get("benchmarks")
+        if benchmarks is not None:
+            benchmarks = tuple(
+                _require(name, str, "workload.benchmarks[]")
+                for name in _require(benchmarks, list, "workload.benchmarks")
+            )
+        spec = cls(
+            max_length=payload.get("max_length"),
+            seed=payload.get("seed", 12345),
+            benchmarks=benchmarks,
+        )
+        if spec.max_length is not None and (
+            not isinstance(spec.max_length, int) or spec.max_length <= 0
+        ):
+            raise SpecError("workload.max_length: expected a positive int")
+        if not isinstance(spec.seed, int):
+            raise SpecError("workload.seed: expected an int")
+        return spec
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """How a run executes -- never *what* it computes.
+
+    Every field mirrors one engine flag; None defers to the same
+    environment default the flag uses.  Excluded from
+    :meth:`RunSpec.digest` by design.
+    """
+
+    jobs: Optional[int] = None
+    cache: bool = True
+    cache_dir: Optional[str] = None
+    retries: Optional[int] = None
+    task_timeout: Optional[float] = None
+    fault_spec: Optional[str] = None
+    journal: Optional[str] = None
+    resume: bool = False
+
+    _FIELDS = (
+        "jobs", "cache", "cache_dir", "retries", "task_timeout",
+        "fault_spec", "journal", "resume",
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EngineOptions":
+        _require(payload, dict, "engine")
+        _reject_unknown(payload, cls._FIELDS, "engine")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid over ``LabConfig`` fields.
+
+    Attributes:
+        axes: ``((field, (value, ...)), ...)`` sorted by field name;
+            each field must be a :class:`LabConfig` sizing field.
+        mode: ``grid`` (cartesian product, the default) or ``zip``
+            (element-wise pairing; axes must share one length).
+    """
+
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    mode: str = "grid"
+
+    def __post_init__(self):
+        normalized = tuple(
+            sorted((name, tuple(values)) for name, values in dict(self.axes).items())
+        )
+        object.__setattr__(self, "axes", normalized)
+        for name, values in self.axes:
+            if name not in CONFIG_FIELDS:
+                raise SpecError(
+                    f"sweep axis {name!r} is not a LabConfig field; choose "
+                    f"from {', '.join(CONFIG_FIELDS)}"
+                )
+            if not values:
+                raise SpecError(f"sweep axis {name!r} has no values")
+            for value in values:
+                if not isinstance(value, int):
+                    raise SpecError(
+                        f"sweep axis {name!r}: values must be ints, got "
+                        f"{value!r}"
+                    )
+        if not self.axes:
+            raise SpecError("sweep: at least one axis is required")
+        if self.mode not in SWEEP_MODES:
+            raise SpecError(
+                f"sweep mode {self.mode!r} not in {SWEEP_MODES}"
+            )
+        if self.mode == "zip":
+            lengths = {len(values) for _, values in self.axes}
+            if len(lengths) > 1:
+                raise SpecError(
+                    "sweep mode 'zip' requires equal-length axes; got "
+                    f"lengths {sorted(lengths)}"
+                )
+
+    def coordinates(self) -> List[Dict[str, Any]]:
+        """Every grid point as an ordered ``{field: value}`` mapping."""
+        names = [name for name, _ in self.axes]
+        value_lists = [values for _, values in self.axes]
+        if self.mode == "zip":
+            combos = list(zip(*value_lists))
+        else:
+            combos = list(itertools.product(*value_lists))
+        return [dict(zip(names, combo)) for combo in combos]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "axes": {name: list(values) for name, values in self.axes},
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SweepSpec":
+        _require(payload, dict, "sweep")
+        _reject_unknown(payload, ("axes", "mode"), "sweep")
+        axes = _require(payload.get("axes", {}), dict, "sweep.axes")
+        return cls(
+            axes=tuple(
+                (name, tuple(_require(values, list, f"sweep.axes[{name!r}]")))
+                for name, values in axes.items()
+            ),
+            mode=payload.get("mode", "grid"),
+        )
+
+
+def _config_to_dict(config: LabConfig) -> Dict[str, Any]:
+    return {name: getattr(config, name) for name in CONFIG_FIELDS}
+
+
+def _config_from_dict(payload: Dict[str, Any]) -> LabConfig:
+    _require(payload, dict, "config")
+    _reject_unknown(payload, CONFIG_FIELDS, "config")
+    for name, value in payload.items():
+        if not isinstance(value, int):
+            raise SpecError(
+                f"config.{name}: expected an int, got {value!r}"
+            )
+    return LabConfig(**payload)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """The complete, serialisable description of one run (or sweep).
+
+    A spec is pure data: constructing one performs no work, and two
+    specs with equal :meth:`digest` describe runs that must produce
+    bit-identical results.  ``repro run spec.json`` executes one;
+    :func:`repro.api.run_spec` is the library entry point.
+    """
+
+    experiments: Tuple[str, ...] = ()
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    config: LabConfig = DEFAULT_CONFIG
+    engine: EngineOptions = field(default_factory=EngineOptions)
+    sweep: Optional[SweepSpec] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "experiments", tuple(self.experiments))
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The schema-versioned JSON-ready form of this spec."""
+        return {
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "kind": SPEC_KIND,
+            "experiments": list(self.experiments),
+            "workload": self.workload.to_dict(),
+            "config": _config_to_dict(self.config),
+            "engine": self.engine.to_dict(),
+            "sweep": None if self.sweep is None else self.sweep.to_dict(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Canonical (key-sorted) JSON of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunSpec":
+        """Parse a spec document, rejecting unknown fields at every level.
+
+        Raises:
+            SpecError: On a wrong kind/schema version, an unknown field
+                anywhere in the document, or a mistyped value.
+        """
+        _require(payload, dict, "spec")
+        _reject_unknown(
+            payload,
+            (
+                "schema_version", "kind", "experiments", "workload",
+                "config", "engine", "sweep",
+            ),
+            "spec",
+        )
+        kind = payload.get("kind", SPEC_KIND)
+        if kind != SPEC_KIND:
+            raise SpecError(f"spec kind {kind!r} != {SPEC_KIND!r}")
+        version = payload.get("schema_version", SPEC_SCHEMA_VERSION)
+        if version != SPEC_SCHEMA_VERSION:
+            raise SpecError(
+                f"spec schema_version {version!r} != {SPEC_SCHEMA_VERSION} "
+                "(this reader)"
+            )
+        experiments = tuple(
+            _require(item, str, "experiments[]")
+            for item in _require(
+                payload.get("experiments", []), list, "experiments"
+            )
+        )
+        sweep = payload.get("sweep")
+        return cls(
+            experiments=experiments,
+            workload=WorkloadSpec.from_dict(payload.get("workload", {})),
+            config=_config_from_dict(payload.get("config", {})),
+            engine=EngineOptions.from_dict(payload.get("engine", {})),
+            sweep=None if sweep is None else SweepSpec.from_dict(sweep),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"spec is not valid JSON: {error}") from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_file(cls, path: str) -> "RunSpec":
+        with open(path) as fh:
+            text = fh.read()
+        return cls.from_json(text)
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json(indent=2))
+            fh.write("\n")
+
+    # -- identity ----------------------------------------------------------
+
+    def identity(self) -> Dict[str, Any]:
+        """The digest-relevant subset: what the run computes.
+
+        Engine options (jobs, cache, retries, ...) are excluded: they
+        change execution, never results.
+        """
+        return {
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "experiments": list(self.experiments),
+            "workload": self.workload.to_dict(),
+            "config": _config_to_dict(self.config),
+            "sweep": None if self.sweep is None else self.sweep.to_dict(),
+        }
+
+    def digest(self) -> str:
+        """Content digest of this spec's identity (hex, stable)."""
+        canonical = json.dumps(self.identity(), sort_keys=True)
+        return hashlib.blake2b(
+            canonical.encode(), digest_size=16
+        ).hexdigest()
+
+    def input_digest(self) -> str:
+        """Digest of the run's *inputs* only: workload plus config.
+
+        Unlike :meth:`digest`, the experiment selection and sweep do
+        not participate: an experiment journaled under one selection is
+        replayable under any other as long as the traces and sizing
+        match.  This is what the run journal keys resume on.
+        """
+        canonical = json.dumps(
+            {
+                "schema_version": SPEC_SCHEMA_VERSION,
+                "workload": self.workload.to_dict(),
+                "config": _config_to_dict(self.config),
+            },
+            sort_keys=True,
+        )
+        return hashlib.blake2b(
+            canonical.encode(), digest_size=16
+        ).hexdigest()
+
+    # -- sweep expansion ---------------------------------------------------
+
+    def point(self, coords: Dict[str, Any]) -> "RunSpec":
+        """The single-point spec at one sweep coordinate.
+
+        The returned spec has ``coords`` folded into its config and no
+        sweep, so its digest differs from a sibling point's exactly in
+        the swept fields.
+        """
+        return replace(
+            self, config=replace(self.config, **coords), sweep=None
+        )
+
+    def expand_points(self) -> List[Tuple[Dict[str, Any], "RunSpec"]]:
+        """``(coords, point spec)`` per grid point, in grid order.
+
+        A spec without a sweep expands to a single point with empty
+        coords, so planners treat runs and sweeps uniformly.
+        """
+        if self.sweep is None:
+            return [({}, self)]
+        return [
+            (coords, self.point(coords))
+            for coords in self.sweep.coordinates()
+        ]
+
+
+def spec_from_kwargs(
+    experiments: Optional[Sequence[str]] = None,
+    *,
+    max_length: Optional[int] = None,
+    config: Optional[LabConfig] = None,
+    seed: int = 12345,
+    jobs: Optional[Union[int, str]] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    fault_spec: Optional[str] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+) -> RunSpec:
+    """The deprecated keyword surface, as a spec.
+
+    This is the shim :func:`repro.api.run_report` routes through: the
+    spec it builds carries exactly the same identity an explicit
+    :class:`RunSpec` with these values would, so legacy callers and
+    spec files produce interchangeable digests, manifests and journal
+    keys.
+    """
+    from repro.experiments.base import EXPERIMENT_IDS
+
+    return RunSpec(
+        experiments=tuple(
+            experiments if experiments is not None else EXPERIMENT_IDS
+        ),
+        workload=WorkloadSpec(max_length=max_length, seed=seed),
+        config=config if config is not None else DEFAULT_CONFIG,
+        engine=EngineOptions(
+            jobs=None if jobs is None else int(jobs),
+            cache=use_cache,
+            cache_dir=cache_dir,
+            retries=retries,
+            task_timeout=task_timeout,
+            fault_spec=fault_spec,
+            journal=journal_path,
+            resume=resume,
+        ),
+    )

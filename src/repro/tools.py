@@ -293,6 +293,13 @@ def _parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "--version":
+        from repro.cliopts import version_string
+
+        print(version_string("repro-tools"))
+        return 0
     args = _parser().parse_args(argv)
     if getattr(args, "predictor", "missing") is None:
         args.predictor = ["gshare", "pas:history_bits=6,bht_bits=12"]

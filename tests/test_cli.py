@@ -70,11 +70,13 @@ class TestEngineFlags:
 
 class TestObservabilityFlags:
     def test_metrics_out_writes_snapshot(self, capsys, tmp_path):
+        # fig9 declares gshare+pas, so the planner actually schedules
+        # simulations (table1 is pure trace statistics and would not).
         import json
 
         metrics_path = tmp_path / "metrics.json"
         assert main(
-            ["table1", "--max-length", "2000", "--no-cache",
+            ["fig9", "--max-length", "2000", "--no-cache",
              "--metrics-out", str(metrics_path)]
         ) == 0
         payload = json.loads(metrics_path.read_text())
@@ -86,7 +88,7 @@ class TestObservabilityFlags:
 
         trace_path = tmp_path / "spans.json"
         assert main(
-            ["table1", "--max-length", "2000", "--no-cache",
+            ["fig9", "--max-length", "2000", "--no-cache",
              "--trace-out", str(trace_path)]
         ) == 0
         payload = json.loads(trace_path.read_text())
@@ -165,3 +167,79 @@ class TestCacheSubcommand:
         bogus.write_text("not a cache")
         assert main(["cache", "stats", "--cache-dir", str(bogus)]) == 0
         assert "entries: 0" in capsys.readouterr().out
+
+
+class TestVersionFlag:
+    def test_version_flag(self, capsys):
+        import re
+
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out.strip()
+        # Metadata (when installed) may disagree with the checkout; the
+        # format is the contract.
+        assert re.fullmatch(r"repro \d+[\w.]*", out)
+
+
+class TestSpecCommands:
+    def emit(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert main(
+            ["fig9", "--max-length", "2000", "--emit-spec", str(spec_path),
+             "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        assert "run spec written" in capsys.readouterr().out
+        return spec_path
+
+    def test_emit_spec_writes_without_running(self, tmp_path, capsys):
+        spec_path = self.emit(tmp_path, capsys)
+        from repro.spec import RunSpec
+
+        spec = RunSpec.from_file(str(spec_path))
+        assert spec.experiments == ("fig9",)
+        assert spec.workload.max_length == 2000
+
+    def test_run_executes_an_emitted_spec(self, tmp_path, capsys):
+        spec_path = self.emit(tmp_path, capsys)
+        manifest_path = tmp_path / "m.json"
+        assert main(
+            ["run", str(spec_path), "--manifest-out", str(manifest_path)]
+        ) == 0
+        assert "running fig9" in capsys.readouterr().out
+        assert manifest_path.is_file()
+
+    def test_run_missing_spec_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "absent.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_rejects_malformed_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "repro.runspec", "colour": "red"}')
+        assert main(["run", str(bad)]) == 2
+        assert "unknown field" in capsys.readouterr().err
+
+    def test_plan_prints_the_graph_without_running(self, tmp_path, capsys):
+        spec_path = self.emit(tmp_path, capsys)
+        assert main(["plan", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 point(s)" in out
+        assert "p0/experiment/fig9" in out
+        # Planning must not execute anything.
+        assert "running fig9" not in out
+
+    def test_legacy_flags_and_spec_file_agree(self, tmp_path, capsys):
+        # The parity gate: the same run launched via legacy flags and
+        # via its emitted spec must produce manifests that diff clean.
+        spec_path = self.emit(tmp_path, capsys)
+        legacy = tmp_path / "legacy.json"
+        via_spec = tmp_path / "spec_run.json"
+        assert main(
+            ["fig9", "--max-length", "2000",
+             "--cache-dir", str(tmp_path / "c"),
+             "--manifest-out", str(legacy)]
+        ) == 0
+        assert main(
+            ["run", str(spec_path), "--manifest-out", str(via_spec)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", str(legacy), str(via_spec)]) == 0
+        assert "agree" in capsys.readouterr().out

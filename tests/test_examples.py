@@ -1,17 +1,26 @@
-"""Smoke tests for the example scripts.
+"""The example scripts run end-to-end as real subprocesses.
 
-Each example imports cleanly (guarding against API drift), and the two
-cheap ones run end-to-end.
+Each example imports cleanly (guarding against API drift) and executes
+with ``python examples/<name>.py`` on a tiny workload: the examples
+honour ``REPRO_EXAMPLE_LENGTH`` so the tests do not pay full-scale
+trace lengths, and ``reproduce_paper`` takes its length on argv.
 """
 
 import importlib.util
+import os
+import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+REPO_DIR = Path(__file__).parent.parent
+EXAMPLES_DIR = REPO_DIR / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Tiny per-example trace length; big enough that every behaviour class
+#: (loops, correlated branches) still occurs, small enough to be quick.
+TINY_LENGTH = "4000"
 
 
 def load_example(path: Path):
@@ -19,6 +28,20 @@ def load_example(path: Path):
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def run_example(path: Path, *argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_DIR / "src")
+    env["REPRO_EXAMPLE_LENGTH"] = TINY_LENGTH
+    return subprocess.run(
+        [sys.executable, str(path), *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_DIR),
+        timeout=600,
+    )
 
 
 class TestExamples:
@@ -40,17 +63,27 @@ class TestExamples:
         assert hasattr(module, "main")
         assert module.__doc__, "examples must explain themselves"
 
-    def test_custom_workload_runs(self, capsys):
-        module = load_example(EXAMPLES_DIR / "custom_workload.py")
-        module.main()
-        out = capsys.readouterr().out
-        assert "per-branch classification" in out
-        assert "loop" in out
 
-    def test_pipeline_cost_runs(self, capsys, monkeypatch):
-        monkeypatch.setattr(sys, "argv", ["pipeline_cost.py", "compress"])
-        module = load_example(EXAMPLES_DIR / "pipeline_cost.py")
-        module.main()
-        out = capsys.readouterr().out
-        assert "CPI" in out
-        assert "speedup" in out
+class TestExamplesAsSubprocesses:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_runs(self, path, tmp_path):
+        argv = ()
+        if path.stem == "reproduce_paper":
+            # Takes [max_length] [report.txt] on argv instead of the env
+            # override; write the report into tmp to keep the tree clean.
+            argv = ("2000", str(tmp_path / "report.txt"))
+        result = run_example(path, *argv)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip(), "examples must print something"
+
+    def test_custom_workload_output(self):
+        result = run_example(EXAMPLES_DIR / "custom_workload.py")
+        assert result.returncode == 0, result.stderr
+        assert "per-branch classification" in result.stdout
+        assert "loop" in result.stdout
+
+    def test_pipeline_cost_output(self):
+        result = run_example(EXAMPLES_DIR / "pipeline_cost.py", "compress")
+        assert result.returncode == 0, result.stderr
+        assert "CPI" in result.stdout
+        assert "speedup" in result.stdout

@@ -17,7 +17,10 @@ import pytest
 from repro.api import run_report
 from repro.obs.manifest import diff_manifests, validate_manifest
 
-EXPERIMENTS = ["table1", "fig6"]
+# fig5 declares the correlation task (so collections are actually
+# scheduled -- the planner primes only declared work); fig6 brings the
+# per-address predictor sims.
+EXPERIMENTS = ["table1", "fig5", "fig6"]
 MAX_LENGTH = 2000
 
 #: Counters that must agree exactly between worker counts.  The

@@ -1,0 +1,294 @@
+"""Tests for the declarative run description (repro.spec)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.config import DEFAULT_CONFIG, LabConfig
+from repro.experiments.base import EXPERIMENT_IDS
+from repro.spec import (
+    CONFIG_FIELDS,
+    SPEC_KIND,
+    SPEC_SCHEMA_VERSION,
+    EngineOptions,
+    RunSpec,
+    SpecError,
+    SweepSpec,
+    WorkloadSpec,
+    spec_from_kwargs,
+)
+
+
+def small_spec(**overrides) -> RunSpec:
+    defaults = dict(
+        experiments=("fig9",),
+        workload=WorkloadSpec(max_length=2000, seed=7),
+    )
+    defaults.update(overrides)
+    return RunSpec(**defaults)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identical(self):
+        spec = RunSpec(
+            experiments=("table1", "fig9"),
+            workload=WorkloadSpec(
+                max_length=5000, seed=99, benchmarks=("gcc", "compress")
+            ),
+            config=dataclasses.replace(DEFAULT_CONFIG, gshare_history_bits=12),
+            engine=EngineOptions(jobs=2, cache=False, retries=1),
+            sweep=SweepSpec(axes=(("gshare_history_bits", (8, 12)),)),
+        )
+        restored = RunSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.digest() == spec.digest()
+
+    def test_file_round_trip(self, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "spec.json"
+        spec.to_file(str(path))
+        assert RunSpec.from_file(str(path)) == spec
+
+    def test_document_carries_kind_and_schema(self):
+        payload = small_spec().to_dict()
+        assert payload["kind"] == SPEC_KIND
+        assert payload["schema_version"] == SPEC_SCHEMA_VERSION
+
+    def test_defaults_parse_from_minimal_document(self):
+        spec = RunSpec.from_dict({"experiments": ["table1"]})
+        assert spec.experiments == ("table1",)
+        assert spec.workload == WorkloadSpec()
+        assert spec.config == DEFAULT_CONFIG
+        assert spec.engine == EngineOptions()
+        assert spec.sweep is None
+
+
+class TestStrictParsing:
+    def test_unknown_top_level_field(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            RunSpec.from_dict({"experiments": [], "colour": "red"})
+
+    def test_unknown_workload_field(self):
+        with pytest.raises(SpecError, match="workload.*unknown"):
+            RunSpec.from_dict({"workload": {"length": 5}})
+
+    def test_unknown_engine_field(self):
+        with pytest.raises(SpecError, match="engine.*unknown"):
+            RunSpec.from_dict({"engine": {"threads": 4}})
+
+    def test_unknown_config_field(self):
+        with pytest.raises(SpecError, match="config.*unknown"):
+            RunSpec.from_dict({"config": {"ghr_bits": 12}})
+
+    def test_unknown_sweep_field(self):
+        with pytest.raises(SpecError, match="sweep.*unknown"):
+            RunSpec.from_dict({"sweep": {"axes": {}, "order": "random"}})
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(SpecError, match="kind"):
+            RunSpec.from_dict({"kind": "repro.manifest"})
+
+    def test_wrong_schema_version_rejected(self):
+        with pytest.raises(SpecError, match="schema_version"):
+            RunSpec.from_dict({"schema_version": 999})
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            RunSpec.from_json("{nope")
+
+    def test_mistyped_config_value(self):
+        with pytest.raises(SpecError, match="expected an int"):
+            RunSpec.from_dict({"config": {"gshare_history_bits": "12"}})
+
+    def test_mistyped_max_length(self):
+        with pytest.raises(SpecError, match="max_length"):
+            RunSpec.from_dict({"workload": {"max_length": -3}})
+
+
+class TestDigest:
+    def test_engine_options_do_not_change_digest(self):
+        base = small_spec()
+        throttled = dataclasses.replace(
+            base, engine=EngineOptions(jobs=8, cache=False, retries=5)
+        )
+        assert base.digest() == throttled.digest()
+
+    def test_config_changes_digest(self):
+        base = small_spec()
+        resized = dataclasses.replace(
+            base,
+            config=dataclasses.replace(base.config, gshare_history_bits=8),
+        )
+        assert base.digest() != resized.digest()
+
+    def test_experiments_change_digest(self):
+        assert (
+            small_spec().digest()
+            != small_spec(experiments=("table1",)).digest()
+        )
+
+    def test_workload_changes_digest(self):
+        longer = small_spec(workload=WorkloadSpec(max_length=4000, seed=7))
+        assert small_spec().digest() != longer.digest()
+
+    def test_input_digest_ignores_experiments_and_sweep(self):
+        base = small_spec()
+        other = small_spec(
+            experiments=("table1", "fig5"),
+            sweep=SweepSpec(axes=(("gshare_history_bits", (8, 12)),)),
+        )
+        assert base.input_digest() == other.input_digest()
+        assert base.digest() != other.digest()
+
+    def test_input_digest_tracks_config(self):
+        resized = small_spec(
+            config=dataclasses.replace(DEFAULT_CONFIG, pas_history_bits=4)
+        )
+        assert small_spec().input_digest() != resized.input_digest()
+
+
+class TestSweepSpec:
+    def test_unknown_axis_field(self):
+        with pytest.raises(SpecError, match="not a LabConfig field"):
+            SweepSpec(axes=(("warp_factor", (1, 2)),))
+
+    def test_empty_axis_values(self):
+        with pytest.raises(SpecError, match="no values"):
+            SweepSpec(axes=(("gshare_history_bits", ()),))
+
+    def test_non_int_axis_value(self):
+        with pytest.raises(SpecError, match="must be ints"):
+            SweepSpec(axes=(("gshare_history_bits", ("8",)),))
+
+    def test_no_axes(self):
+        with pytest.raises(SpecError, match="at least one axis"):
+            SweepSpec(axes=())
+
+    def test_bad_mode(self):
+        with pytest.raises(SpecError, match="mode"):
+            SweepSpec(axes=(("gshare_history_bits", (8,)),), mode="spiral")
+
+    def test_zip_requires_equal_lengths(self):
+        with pytest.raises(SpecError, match="equal-length"):
+            SweepSpec(
+                axes=(
+                    ("gshare_history_bits", (8, 12)),
+                    ("gshare_pht_bits", (8, 12, 16)),
+                ),
+                mode="zip",
+            )
+
+    def test_grid_coordinates_are_cartesian(self):
+        sweep = SweepSpec(
+            axes=(
+                ("gshare_history_bits", (8, 12)),
+                ("gshare_pht_bits", (10, 14)),
+            )
+        )
+        coords = sweep.coordinates()
+        assert len(coords) == 4
+        assert {"gshare_history_bits": 8, "gshare_pht_bits": 10} in coords
+        assert {"gshare_history_bits": 12, "gshare_pht_bits": 14} in coords
+
+    def test_zip_coordinates_pair_elementwise(self):
+        sweep = SweepSpec(
+            axes=(
+                ("gshare_history_bits", (8, 12)),
+                ("gshare_pht_bits", (10, 14)),
+            ),
+            mode="zip",
+        )
+        assert sweep.coordinates() == [
+            {"gshare_history_bits": 8, "gshare_pht_bits": 10},
+            {"gshare_history_bits": 12, "gshare_pht_bits": 14},
+        ]
+
+    def test_axes_normalise_to_sorted_tuples(self):
+        sweep = SweepSpec(
+            axes=(
+                ("pas_history_bits", [4, 6]),
+                ("gshare_history_bits", [8]),
+            )
+        )
+        assert sweep.axes == (
+            ("gshare_history_bits", (8,)),
+            ("pas_history_bits", (4, 6)),
+        )
+
+
+class TestExpandPoints:
+    def test_plain_spec_is_one_point(self):
+        spec = small_spec()
+        assert spec.expand_points() == [({}, spec)]
+
+    def test_points_fold_coords_into_config(self):
+        spec = small_spec(
+            sweep=SweepSpec(axes=(("gshare_history_bits", (8, 12)),))
+        )
+        points = spec.expand_points()
+        assert [coords for coords, _ in points] == [
+            {"gshare_history_bits": 8},
+            {"gshare_history_bits": 12},
+        ]
+        for coords, point in points:
+            assert point.sweep is None
+            assert point.config.gshare_history_bits == (
+                coords["gshare_history_bits"]
+            )
+
+    def test_point_digests_differ_exactly_in_swept_field(self):
+        spec = small_spec(
+            sweep=SweepSpec(axes=(("gshare_history_bits", (8, 12)),))
+        )
+        (_, first), (_, second) = spec.expand_points()
+        assert first.digest() != second.digest()
+        first_id, second_id = first.identity(), second.identity()
+        assert first_id["config"] != second_id["config"]
+        differing = {
+            name
+            for name in first_id["config"]
+            if first_id["config"][name] != second_id["config"][name]
+        }
+        assert differing == {"gshare_history_bits"}
+        for section in ("experiments", "workload", "sweep"):
+            assert first_id[section] == second_id[section]
+
+
+class TestKwargShim:
+    def test_shim_matches_explicit_spec_digest(self):
+        shimmed = spec_from_kwargs(
+            ["fig9"], max_length=2000, seed=7, jobs=4, use_cache=False
+        )
+        explicit = small_spec()
+        assert shimmed.digest() == explicit.digest()
+
+    def test_shim_defaults_to_all_experiments(self):
+        assert spec_from_kwargs().experiments == tuple(EXPERIMENT_IDS)
+
+    def test_shim_carries_engine_options(self):
+        spec = spec_from_kwargs(
+            ["table1"],
+            jobs="3",
+            use_cache=False,
+            retries=0,
+            task_timeout=1.5,
+            fault_spec="loop:1:crash",
+            journal_path="j.journal",
+            resume=True,
+        )
+        assert spec.engine == EngineOptions(
+            jobs=3,
+            cache=False,
+            retries=0,
+            task_timeout=1.5,
+            fault_spec="loop:1:crash",
+            journal="j.journal",
+            resume=True,
+        )
+
+
+class TestConfigFields:
+    def test_config_fields_cover_labconfig(self):
+        assert set(CONFIG_FIELDS) == {
+            f.name for f in dataclasses.fields(LabConfig)
+        }

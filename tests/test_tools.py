@@ -103,3 +103,12 @@ class TestCommands:
 
     def test_missing_file_exits_2(self, capsys):
         assert main(["stats", "/nonexistent/file.bpt"]) == 2
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import re
+
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert re.fullmatch(r"repro-tools \d+[\w.]*", out)
