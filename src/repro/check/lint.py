@@ -15,6 +15,9 @@ DH003  float equality (``==``/``!=`` against a float literal) in
 DH004  direct iteration over a ``set``/``frozenset`` -- iteration order
        varies with PYTHONHASHSEED, reordering any trace or report
        output it feeds.
+DH005  unseeded ``numpy.random.default_rng()`` / ``Generator()`` or a
+       global ``numpy.random.*`` draw (``np.random.rand()``...) -- the
+       numpy kernels make these the same hazard as DH001/DH002.
 ====== =================================================================
 
 Suppress a finding by putting ``check: ignore`` in a comment on the
@@ -39,6 +42,36 @@ _GLOBAL_RNG_FUNCTIONS = frozenset({
     "randbytes", "randint", "random", "randrange", "sample", "seed",
     "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
 })
+
+
+#: ``numpy.random`` module-level functions that draw from (or reseed)
+#: the legacy process-global generator.
+_NUMPY_GLOBAL_RNG_FUNCTIONS = frozenset({
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "get_state", "gumbel",
+    "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_normal", "negative_binomial",
+    "noncentral_chisquare", "noncentral_f", "normal", "pareto",
+    "permutation", "poisson", "power", "rand", "randint", "randn",
+    "random", "random_integers", "random_sample", "ranf", "rayleigh",
+    "sample", "seed", "set_state", "shuffle", "standard_cauchy",
+    "standard_exponential", "standard_gamma", "standard_normal",
+    "standard_t", "triangular", "uniform", "vonmises", "wald",
+    "weibull", "zipf",
+})
+
+#: Constructors of seedable numpy generators (unseeded -> DH005).
+_NUMPY_RNG_CONSTRUCTORS = frozenset({"default_rng", "RandomState"})
+
+
+def _is_numpy_random(node: ast.expr) -> bool:
+    """True for ``numpy.random`` / ``np.random`` attribute bases."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("numpy", "np")
+    )
 
 
 def _is_set_expression(node: ast.expr) -> bool:
@@ -84,6 +117,28 @@ class _HazardVisitor(ast.NodeVisitor):
                 "DH001",
                 "Random() constructed without a seed; pass an explicit "
                 "seed so runs are reproducible", node,
+            )
+        elif isinstance(func, ast.Attribute) and _is_numpy_random(func.value):
+            if func.attr in _NUMPY_RNG_CONSTRUCTORS and unseeded:
+                self._report(
+                    "DH005",
+                    f"numpy.random.{func.attr}() constructed without a "
+                    "seed; pass an explicit seed so runs are reproducible",
+                    node,
+                )
+            elif func.attr in _NUMPY_GLOBAL_RNG_FUNCTIONS:
+                self._report(
+                    "DH005",
+                    f"numpy.random.{func.attr}() draws from the "
+                    "process-global numpy RNG; use a seeded "
+                    "numpy.random.default_rng(seed) generator", node,
+                )
+        elif isinstance(func, ast.Name) \
+                and func.id in _NUMPY_RNG_CONSTRUCTORS and unseeded:
+            self._report(
+                "DH005",
+                f"{func.id}() constructed without a seed; pass an "
+                "explicit seed so runs are reproducible", node,
             )
         self.generic_visit(node)
 

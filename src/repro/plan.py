@@ -46,6 +46,17 @@ from repro.spec import RunSpec
 TASK_KINDS = ("trace", "sim", "experiment", "render")
 
 
+class PlanError(ValueError):
+    """A spec cannot be expanded into a sound plan.
+
+    Raised by :func:`build_plan` when an experiment's ``requires=``
+    declaration names a task outside the plannable set -- the runtime
+    mirror of the static DS003 diagnostic.  Without this the bad name
+    survives until a worker's ``compute_task`` raises ``KeyError``
+    mid-run (or never, if the point is cache-hit).
+    """
+
+
 @dataclass(frozen=True)
 class PlanTask:
     """One node of the plan DAG.
@@ -162,10 +173,28 @@ def build_plan(spec: RunSpec) -> Plan:
 
     Raises:
         KeyError: If the spec names an unregistered experiment.
+        PlanError: If a named experiment's ``requires=`` declaration
+            contains a task outside :data:`DEFAULT_TASKS` (nothing
+            could ever prime it).
     """
     from repro.analysis.parallel import DEFAULT_TASKS
     from repro.experiments.base import experiment_requires
     from repro.workloads.suite import BENCHMARK_NAMES
+
+    for experiment_id in spec.experiments:
+        bad = [
+            name
+            for name in experiment_requires(experiment_id)
+            if name not in DEFAULT_TASKS
+        ]
+        if bad:
+            raise PlanError(
+                f"experiment {experiment_id!r} declares requires= task(s) "
+                f"{', '.join(map(repr, sorted(bad)))} outside the "
+                f"plannable set ({', '.join(DEFAULT_TASKS)}); selective "
+                "products are derived from 'correlation' -- declare that "
+                "instead"
+            )
 
     points = tuple(spec.expand_points())
     benchmarks = (

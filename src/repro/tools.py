@@ -228,6 +228,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
     forwarded: List[str] = list(args.passes)
     if args.strict:
         forwarded.append("--strict")
+    if args.format != "text":
+        forwarded.extend(["--format", args.format])
+    if args.github:
+        forwarded.append("--github")
     return check_main(forwarded)
 
 
@@ -282,11 +286,16 @@ def _parser() -> argparse.ArgumentParser:
         help="run the static verification passes (repro.check)",
     )
     check.add_argument(
-        "passes", nargs="*", choices=["ir", "contracts", "lint"],
+        "passes", nargs="*",
+        choices=["ir", "contracts", "lint", "deps", "workers"],
         default=[], help="passes to run (default: all)",
     )
     check.add_argument("--strict", action="store_true",
                        help="fail on warnings too")
+    check.add_argument("--format", choices=["text", "json"], default="text",
+                       help="diagnostic output format")
+    check.add_argument("--github", action="store_true",
+                       help="emit GitHub Actions workflow annotations")
     check.set_defaults(func=_cmd_check)
     return parser
 

@@ -1,0 +1,74 @@
+"""Seeded-defect config module for the ``deps`` projection sub-pass.
+
+A deliberately stale copy of ``repro.analysis.config``: the ``gshare``
+projection omits ``gshare_pht_bits`` (DS004 -- the stale-cache aliasing
+bug class) and the ``loop`` projection lists a field the factory never
+reads (DS005 -- lost dedup).  Never imported; AST only.
+"""
+
+from dataclasses import dataclass
+
+from repro.correlation.selection import SelectionConfig
+from repro.predictors.interference_free import (
+    InterferenceFreeGshare,
+    InterferenceFreePAs,
+)
+from repro.predictors.loop import LoopPredictor
+from repro.predictors.pattern import BlockPatternPredictor
+from repro.predictors.static_ import IdealStaticPredictor
+from repro.predictors.twolevel import GsharePredictor, PAsPredictor
+
+
+@dataclass(frozen=True)
+class LabConfig:
+    gshare_history_bits: int = 16
+    gshare_pht_bits: int = 16
+    if_gshare_history_bits: int = 8
+    pas_history_bits: int = 6
+    pas_bht_bits: int = 12
+    if_pas_history_bits: int = 6
+    selective_window: int = 16
+    selective_top_k: int = 12
+    collection_window: int = 32
+
+    def gshare(self):
+        return GsharePredictor(self.gshare_history_bits, self.gshare_pht_bits)
+
+    def if_gshare(self):
+        return InterferenceFreeGshare(self.if_gshare_history_bits)
+
+    def pas(self):
+        return PAsPredictor(self.pas_history_bits, self.pas_bht_bits)
+
+    def if_pas(self):
+        return InterferenceFreePAs(self.if_pas_history_bits)
+
+    def loop(self):
+        return LoopPredictor()
+
+    def block_pattern(self):
+        return BlockPatternPredictor()
+
+    def ideal_static(self):
+        return IdealStaticPredictor()
+
+    def selection_config(self, window=None):
+        return SelectionConfig(
+            window=self.selective_window if window is None else window,
+            top_k=self.selective_top_k,
+        )
+
+
+TASK_CONFIG_FIELDS = {
+    "gshare": ("gshare_history_bits",),  # DS004: gshare_pht_bits read, not projected
+    "if_gshare": ("if_gshare_history_bits",),
+    "pas": ("pas_history_bits", "pas_bht_bits"),
+    "if_pas": ("if_pas_history_bits",),
+    "loop": ("pas_history_bits",),  # DS005: never read by the loop factory
+    "block": (),
+    "ideal_static": (),
+    "fixed_best": (),
+    "correlation": ("collection_window",),
+}
+
+_SELECTIVE_FIELDS = ("selective_top_k", "collection_window")

@@ -1,0 +1,51 @@
+"""Seeded-defect worker module for the ``workers`` pass.
+
+A miniature parallel scheduler with all three worker-safety hazards
+planted.  Never imported -- analysed as AST only.  Tests and the CI
+negative gate assert each hazard produces its exact WS code.
+"""
+
+_RESULTS = {}
+_SEEN = set()
+_LOG = []
+
+
+def _record(task, value):
+    """WS001: reachable helper mutates module-level dict and list."""
+    _RESULTS[task] = value
+    _LOG.append(task)
+
+
+def _fold(counts):
+    """WS003: set iteration in the fold -- order differs per process."""
+    total = 0
+    for task in {"gshare", "pas", "loop"}:
+        total += counts.get(task, 0)
+    _SEEN.add(total)
+    return total
+
+
+def compute_task(spec):
+    """Entry point: the pool calls this in every worker process."""
+    value = _simulate(spec)
+    _record(spec.task, value)
+    return _fold({spec.task: value})
+
+
+def _simulate(spec):
+    return len(spec.task)
+
+
+def submit_all(pool, specs):
+    """WS002: closures handed to pool submission do not pickle."""
+    def _local_job(spec):
+        return compute_task(spec)
+
+    futures = [pool.submit(lambda: compute_task(spec)) for spec in specs]
+    futures.append(pool.submit(_local_job, specs[0]))
+    return futures
+
+
+def fold_clean(counts):
+    """Control: sorted iteration and pure fold must stay silent."""
+    return sum(counts[task] for task in sorted(counts))

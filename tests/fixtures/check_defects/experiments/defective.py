@@ -1,0 +1,45 @@
+"""Seeded-defect experiment module for the ``deps`` pass.
+
+Never imported -- analysed as AST only.  Each runner plants exactly one
+declaration defect; tests and the CI negative gate assert the pass
+reports the matching DS code (a planted defect slipping through fails
+the build).
+"""
+
+from repro.experiments.base import register
+
+
+def _helper_reads_pas(lab):
+    """Module-local helper: the consumption the pass must see through."""
+    return lab.correct("pas")
+
+
+@register("fx_undeclared", requires=("gshare",))
+def run_undeclared(labs):
+    """DS001 x2: consumes pas (via helper) and correlation, declares neither."""
+    rows = {}
+    for name, lab in labs.items():
+        rows[name] = (
+            lab.accuracy("gshare"),
+            _helper_reads_pas(lab),
+            lab.selective_correct(3),
+        )
+    return rows
+
+
+@register("fx_phantom", requires=("gshare", "loop"))
+def run_phantom(labs):
+    """DS002: declares loop but never touches it."""
+    return {name: lab.accuracy("gshare") for name, lab in labs.items()}
+
+
+@register("fx_unknown", requires=("gshar",))
+def run_unknown(labs):
+    """DS003: typo'd task name -- the plan can never prime it."""
+    return {name: lab.trace for name, lab in labs.items()}
+
+
+@register("fx_clean", requires=("if_gshare",))
+def run_clean(labs):
+    """Control: a sound declaration must stay silent."""
+    return {name: lab.correct("if_gshare") for name, lab in labs.items()}

@@ -76,9 +76,56 @@ class TestSetIteration:
         assert lint_source(source) == []
 
 
+class TestNumpyRng:
+    def test_unseeded_default_rng_flagged(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert codes(lint_source(source)) == ["DH005"]
+
+    def test_seeded_default_rng_is_clean(self):
+        source = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert lint_source(source) == []
+
+    def test_bare_default_rng_import_flagged(self):
+        source = (
+            "from numpy.random import default_rng\nrng = default_rng()\n"
+        )
+        assert codes(lint_source(source)) == ["DH005"]
+
+    def test_global_numpy_draw_flagged(self):
+        source = "import numpy\nx = numpy.random.rand(3)\n"
+        assert codes(lint_source(source)) == ["DH005"]
+
+    def test_global_numpy_seed_flagged(self):
+        source = "import numpy as np\nnp.random.seed(0)\n"
+        assert codes(lint_source(source)) == ["DH005"]
+
+    def test_unseeded_random_state_flagged(self):
+        source = "import numpy as np\nrng = np.random.RandomState()\n"
+        assert codes(lint_source(source)) == ["DH005"]
+
+    def test_seeded_random_state_is_clean(self):
+        source = "import numpy as np\nrng = np.random.RandomState(7)\n"
+        assert lint_source(source) == []
+
+    def test_generator_method_call_is_clean(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(9)\n"
+            "x = rng.random()\n"
+        )
+        assert lint_source(source) == []
+
+
 class TestSuppression:
     def test_ignore_marker_suppresses_finding(self):
         source = "import random\nrng = random.Random()  # check: ignore\n"
+        assert lint_source(source) == []
+
+    def test_ignore_marker_suppresses_dh005(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # check: ignore\n"
+        )
         assert lint_source(source) == []
 
 

@@ -1,9 +1,24 @@
 """Tests for experiment infrastructure and the paper-reference data."""
 
-import pytest
+from dataclasses import fields
 
-from repro.analysis.config import LabConfig
-from repro.experiments.base import build_labs, register
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.config import (
+    LabConfig,
+    TASK_CONFIG_FIELDS,
+    task_config_fields,
+    task_config_key,
+)
+from repro.analysis.parallel import DEFAULT_TASKS
+from repro.experiments.base import (
+    build_labs,
+    experiment_ids,
+    experiment_requires,
+    register,
+)
 from repro.experiments.paper_reference import CLAIMS, TABLE2, TABLE3
 from repro.workloads.suite import BENCHMARK_NAMES
 
@@ -34,6 +49,56 @@ class TestPaperReference:
 
     def test_every_figure_has_a_claim(self):
         assert set(CLAIMS) == {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+
+
+_ALL_FIELDS = tuple(f.name for f in fields(LabConfig))
+
+
+class TestProjectionConservatism:
+    """Unknown tasks must project onto every field -- never alias."""
+
+    @given(
+        st.text(min_size=1, max_size=30).filter(
+            lambda name: name not in TASK_CONFIG_FIELDS
+            and not name.startswith("selective_")
+        )
+    )
+    def test_unknown_names_project_onto_every_field(self, name):
+        assert task_config_fields(name) == _ALL_FIELDS
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_selective_tasks_use_the_selective_projection(self, top_k):
+        assert task_config_fields(f"selective_{top_k}_16") == (
+            "selective_top_k", "collection_window",
+        )
+
+    def test_known_tasks_project_onto_declared_subsets(self):
+        for task, declared in TASK_CONFIG_FIELDS.items():
+            assert set(declared) <= set(_ALL_FIELDS), task
+
+    def test_unknown_task_key_differs_whenever_any_field_does(self):
+        base = LabConfig()
+        for name in _ALL_FIELDS:
+            changed = LabConfig(**{name: getattr(base, name) + 1})
+            assert task_config_key("mystery", changed) != task_config_key(
+                "mystery", base
+            ), name
+
+
+class TestRegistryRequiresArePlannable:
+    """Registry-wide mirror of the static DS003 check."""
+
+    def test_every_registered_requires_resolves(self):
+        for experiment_id in experiment_ids():
+            for task in experiment_requires(experiment_id):
+                assert task in DEFAULT_TASKS, (
+                    f"experiment {experiment_id!r} requires "
+                    f"unplannable task {task!r}"
+                )
+
+    def test_every_default_task_has_a_projection(self):
+        for task in DEFAULT_TASKS:
+            assert task in TASK_CONFIG_FIELDS, task
 
 
 class TestInfrastructure:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.plan import Plan, PlanTask, build_plan, tasks_by_id_task
+from repro.plan import Plan, PlanError, PlanTask, build_plan, tasks_by_id_task
 from repro.spec import RunSpec, SweepSpec, WorkloadSpec
 from repro.workloads.suite import BENCHMARK_NAMES
 
@@ -159,3 +159,32 @@ class TestPlanLookup:
         assert isinstance(plan, Plan)
         both = plan.point_tasks(0) + plan.point_tasks(1)
         assert len(both) == len(plan.tasks)
+
+
+class TestRequiresValidation:
+    """build_plan fails fast on unplannable requires= declarations."""
+
+    def test_unknown_required_task_raises_plan_error(self):
+        from repro.experiments import base
+
+        @base.register("test-bad-requires", requires=("gshar", "gshare"))
+        def bad(labs):
+            return None
+
+        try:
+            with pytest.raises(PlanError) as excinfo:
+                build_plan(fig9_spec(experiments=("test-bad-requires",)))
+            message = str(excinfo.value)
+            assert "test-bad-requires" in message
+            assert "'gshar'" in message
+            assert "'gshare'" not in message.split("plannable set")[0]
+            assert "correlation" in message  # the selective hint
+        finally:
+            base._REGISTRY.pop("test-bad-requires", None)
+            base._REQUIRES.pop("test-bad-requires", None)
+
+    def test_plan_error_is_a_value_error(self):
+        assert issubclass(PlanError, ValueError)
+
+    def test_sound_declarations_still_plan(self):
+        assert isinstance(build_plan(fig9_spec()), Plan)
