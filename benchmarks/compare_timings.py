@@ -1,0 +1,118 @@
+"""Gate benchmark wall-clock against the committed timing baseline.
+
+Usage::
+
+    python benchmarks/compare_timings.py BASELINE CURRENT [--threshold 2.0]
+
+Both arguments are ``BENCH_timings.json`` artefacts (the committed
+baseline at ``benchmarks/BENCH_timings.json`` and the file a fresh
+``pytest benchmarks/`` run leaves in ``benchmarks/results/``).  The gate
+fails (exit 1) when any test recorded in the baseline runs more than
+``threshold`` times slower, or when a recorded test disappeared or no
+longer passes.  Tests new to the current run are reported but never
+fail the gate -- they have no baseline to regress against.
+
+Very short lines are pure harness noise, so each side is clamped to a
+floor (``--floor``, default 0.1s) before the ratio is taken: a 0.014s
+test drifting to 0.04s is not a regression worth a red build.
+
+Comparing runs at different ``REPRO_BENCH_LENGTH`` scales is meaningless
+and exits 2 rather than reporting bogus ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_timings(path: Path) -> dict:
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: cannot read timings from {path}: {error}")
+    for field in ("bench_length", "tests"):
+        if field not in document:
+            raise SystemExit(
+                f"error: {path} is not a BENCH_timings artefact "
+                f"(missing {field!r})"
+            )
+    return document
+
+
+def compare(
+    baseline: dict, current: dict, threshold: float, floor: float
+) -> int:
+    """Print a comparison table; return the number of gate failures."""
+    if baseline["bench_length"] != current["bench_length"]:
+        print(
+            f"error: bench_length mismatch (baseline "
+            f"{baseline['bench_length']}, current {current['bench_length']}); "
+            "rerun with REPRO_BENCH_LENGTH matching the baseline",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    failures = 0
+    base_tests = baseline["tests"]
+    cur_tests = current["tests"]
+    width = max((len(name) for name in base_tests), default=20)
+    for name, base_entry in sorted(base_tests.items()):
+        cur_entry = cur_tests.get(name)
+        if cur_entry is None:
+            print(f"FAIL {name:<{width}} missing from current run")
+            failures += 1
+            continue
+        if cur_entry["outcome"] != "passed":
+            print(
+                f"FAIL {name:<{width}} outcome {cur_entry['outcome']!r} "
+                f"(baseline {base_entry['outcome']!r})"
+            )
+            failures += 1
+            continue
+        ratio = max(cur_entry["seconds"], floor) / max(
+            base_entry["seconds"], floor
+        )
+        status = "FAIL" if ratio > threshold else "ok  "
+        print(
+            f"{status} {name:<{width}} {base_entry['seconds']:8.3f}s -> "
+            f"{cur_entry['seconds']:8.3f}s  ({ratio:.2f}x)"
+        )
+        if ratio > threshold:
+            failures += 1
+    for name in sorted(set(cur_tests) - set(base_tests)):
+        print(f"new  {name} ({cur_tests[name]['seconds']:.3f}s, no baseline)")
+    print(
+        f"\ntotal: {baseline['total_seconds']:.3f}s -> "
+        f"{current['total_seconds']:.3f}s over {len(base_tests)} "
+        f"baseline line(s); {failures} failure(s) at >{threshold:.1f}x"
+    )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when any benchmark regresses past the threshold."
+    )
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="maximum allowed current/baseline ratio (default 2.0)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=0.1,
+        help="clamp both sides to this many seconds before the ratio "
+             "(default 0.1; filters sub-harness-noise lines)",
+    )
+    args = parser.parse_args(argv)
+    failures = compare(
+        load_timings(args.baseline), load_timings(args.current),
+        args.threshold, args.floor,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -199,12 +199,19 @@ class Lab:
         key = (count, window)
         cached = self._selections.get(key)
         if cached is None:
-            cached = select_for_trace(
-                self.correlation_data(),
-                count,
-                self.config.selection_config(window),
-            )
+            METRICS.inc("sim.oracle_selections")
+            with span(
+                "select_oracle", count=count, window=window,
+                length=len(self.trace),
+            ), METRICS.timer("sim.seconds"):
+                cached = select_for_trace(
+                    self.correlation_data(),
+                    count,
+                    self.config.selection_config(window),
+                )
             self._selections[key] = cached
+        else:
+            METRICS.inc("sim.memo_hits")
         return cached
 
     def selective_correct(

@@ -51,6 +51,7 @@ def run_ir_pass() -> List[Diagnostic]:
 def run_contracts_pass(trace_length: int) -> List[Diagnostic]:
     """Introspective audits plus dynamic checks over the registry."""
     from repro.check.contracts import (
+        check_kernel_bindings,
         check_predictor_classes,
         check_registry,
         run_contract_suite,
@@ -60,6 +61,7 @@ def run_contracts_pass(trace_length: int) -> List[Diagnostic]:
 
     diagnostics = check_predictor_classes()
     diagnostics.extend(check_registry())
+    diagnostics.extend(check_kernel_bindings())
     trace = load_benchmark("compress", length=trace_length)
     for spec_name in sorted(PREDICTOR_REGISTRY):
         factory = PREDICTOR_REGISTRY[spec_name]

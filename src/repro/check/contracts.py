@@ -25,7 +25,10 @@ Diagnostic codes: PC001 abstract residue, PC002 placeholder name, PC003
 duplicate class name, PC004 registry entry broken, PC005 duplicate
 registry instance name, PC006 ``predict`` mutated state, PC007
 predict/update interleaving violation, PC008 nondeterministic replay,
-PC009 ``simulate()`` fast path diverges from the generic replay.
+PC009 ``simulate()`` fast path diverges from the generic replay, PC010
+kernel-binding audit (:func:`check_kernel_bindings`): every exported
+``simulate_*`` kernel must be bound to a registry spec so the PC009
+dynamic check exercises it.
 """
 
 from __future__ import annotations
@@ -298,6 +301,60 @@ def check_registry() -> List[Diagnostic]:
             ))
         else:
             instance_names[instance.name] = location
+    return sort_diagnostics(diagnostics)
+
+
+def check_kernel_bindings() -> List[Diagnostic]:
+    """PC010: every exported simulate kernel is under PC009 coverage.
+
+    Audits :data:`repro.sim.KERNEL_BINDINGS` against the kernel modules
+    and the predictor registry: every module-level ``simulate_*``
+    function exported by :mod:`repro.sim` must map to an existing
+    ``repro.tools`` registry spec (whose contract-suite run dynamically
+    checks the kernel), and every binding must name a kernel that still
+    exists.  An unregistered or stale kernel fails ``repro check``.
+    """
+    import repro.sim as sim
+    from repro.sim import KERNEL_BINDINGS
+    from repro.tools import PREDICTOR_REGISTRY  # lazy: avoid import cycle
+
+    diagnostics: List[Diagnostic] = []
+    exported = sorted(
+        name for name in getattr(sim, "__all__", dir(sim))
+        if name.startswith("simulate_")
+    )
+    for kernel_name in exported:
+        location = f"repro.sim.{kernel_name}"
+        spec_name = KERNEL_BINDINGS.get(kernel_name)
+        if spec_name is None:
+            diagnostics.append(Diagnostic(
+                code="PC010", severity=ERROR,
+                message=(
+                    "kernel is exported but has no KERNEL_BINDINGS entry; "
+                    "bind it to a registry spec so the PC009 contract "
+                    "check covers it"
+                ),
+                location=location,
+            ))
+            continue
+        if spec_name not in PREDICTOR_REGISTRY:
+            diagnostics.append(Diagnostic(
+                code="PC010", severity=ERROR,
+                message=(
+                    f"kernel is bound to registry spec {spec_name!r}, "
+                    "which does not exist in PREDICTOR_REGISTRY"
+                ),
+                location=location,
+            ))
+    for kernel_name in sorted(set(KERNEL_BINDINGS) - set(exported)):
+        diagnostics.append(Diagnostic(
+            code="PC010", severity=ERROR,
+            message=(
+                "stale KERNEL_BINDINGS entry: no exported kernel by "
+                "this name in repro.sim"
+            ),
+            location=f"repro.sim.{kernel_name}",
+        ))
     return sort_diagnostics(diagnostics)
 
 

@@ -58,6 +58,13 @@ WORKER_SAFE_GLOBALS = frozenset({"METRICS", "TRACER"})
 #: Worker entry points: (dotted module, function names).
 DEFAULT_ENTRY = ("repro.analysis.parallel", ("compute_task", "_run_task"))
 
+#: Kernel modules whose ``simulate_*`` functions are seeded as extra
+#: entry points in the default analysis: they run inside pool workers
+#: via ``predictor.simulate()`` dispatch, which the static call graph
+#: deliberately does not follow (unknown receiver type), so without
+#: seeding the pass would never scan them.
+KERNEL_ENTRY_MODULES = ("repro.sim.kernels", "repro.sim.kernels_global")
+
 #: Method names that mutate builtin containers in place.
 _MUTATORS = frozenset({
     "add", "append", "appendleft", "clear", "discard", "extend",
@@ -394,6 +401,19 @@ def analyze_worker_safety(
             ))
         else:
             queue.append((entry_module.path.resolve(), name))
+
+    # Only the default analysis seeds the kernel modules: an explicit
+    # --workers-entry (the CI negative gate, fixture scans) asks for
+    # exactly that entry's reachability, nothing more.
+    if entry_path is None:
+        for dotted in KERNEL_ENTRY_MODULES:
+            kernel_file = root / Path(*dotted.split(".")).with_suffix(".py")
+            kernel_module = index.load(kernel_file)
+            if kernel_module is None:
+                continue
+            for name in sorted(kernel_module.functions):
+                if name.startswith("simulate_"):
+                    queue.append((kernel_module.path.resolve(), name))
 
     visited: Set[Tuple[Path, str]] = set()
     scanned_modules: Set[Path] = set()

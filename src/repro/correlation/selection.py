@@ -27,6 +27,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.correlation.tagging import (
+    _DEPTH_MASK,
+    _DEPTH_SHIFT,
+    _INDEX_SHIFT,
     BranchCorrelationData,
     CorrelationData,
     TagKey,
@@ -137,23 +140,77 @@ def _bias_accuracy(outcomes: np.ndarray) -> float:
     return max(rate, 1.0 - rate)
 
 
+def _joint_scores(
+    combined: np.ndarray, outcomes: np.ndarray, space: int
+) -> np.ndarray:
+    """Ideal-table accuracy of many joint histories in one bincount.
+
+    Batched :func:`joint_ideal_accuracy`: ``combined`` holds one row of
+    joint 3**c patterns per candidate set, all rows are folded into one
+    ``row * space * 2 + pattern * 2 + outcome`` key column, and a single
+    ``np.bincount`` yields every row's per-pattern majority at once.
+    """
+    rows, n = combined.shape
+    keys = (
+        np.arange(rows, dtype=np.int64)[:, None] * space + combined
+    ) * 2 + outcomes
+    counts = np.bincount(keys.ravel(), minlength=rows * space * 2)
+    pairs = counts.reshape(rows, space, 2)
+    return pairs.max(axis=2).sum(axis=1) / n
+
+
 def _qualified_candidates(
     branch: BranchCorrelationData, config: SelectionConfig
 ) -> List[Tuple[TagKey, float]]:
-    """Score all candidates that pass the support threshold."""
+    """Score all candidates that pass the support threshold.
+
+    Batched equivalent of calling :func:`single_tag_score` per tag: the
+    packed entries of every candidate are concatenated into one column,
+    and a single ``np.bincount`` over ``tag * 4 + tag_state * 2 +
+    branch_outcome`` keys yields every candidate's bucket counts at once
+    -- no per-tag ``decode_tag`` replay.  Scores are the same exact
+    integer-ratio float64 values the scalar scorer produces.
+    """
     n = branch.num_instances()
     support_floor = max(
         config.min_support_absolute, int(config.min_support_fraction * n)
     )
-    scored: List[Tuple[TagKey, float]] = []
-    for tag in branch.tag_entries:
-        if config.tag_kinds is not None and tag[0] not in config.tag_kinds:
-            continue
-        _indices, depths, _outcomes = branch.decode_tag(tag)
-        support = int((depths <= config.window).sum())
-        if support < support_floor:
-            continue
-        scored.append((tag, single_tag_score(branch, tag, config.window)))
+    tags = [
+        tag for tag in branch.tag_entries
+        if config.tag_kinds is None or tag[0] in config.tag_kinds
+    ]
+    if not tags or n == 0:
+        return []
+    buffers = [branch.tag_entries[tag] for tag in tags]
+    lengths = np.fromiter(
+        (len(buffer) for buffer in buffers), dtype=np.int64, count=len(tags)
+    )
+    packed = np.concatenate(
+        [np.frombuffer(buffer, dtype=np.int64) for buffer in buffers]
+    )
+    tag_ordinal = np.repeat(np.arange(len(tags), dtype=np.int64), lengths)
+    depths = (packed >> _DEPTH_SHIFT) & _DEPTH_MASK
+    visible = depths <= config.window
+    tag_ordinal = tag_ordinal[visible]
+    support = np.bincount(tag_ordinal, minlength=len(tags))
+    qualified = support >= support_floor
+    if not qualified.any():
+        return []
+    packed = packed[visible]
+    branch_out = branch.outcomes[packed >> _INDEX_SHIFT].astype(np.int64)
+    keys = tag_ordinal * 4 + (packed & 1) * 2 + branch_out
+    counts = np.bincount(keys, minlength=4 * len(tags)).reshape(-1, 4)
+    taken_bucket = np.maximum(counts[:, 2], counts[:, 3])
+    not_taken_bucket = np.maximum(counts[:, 0], counts[:, 1])
+    total_taken = int(branch.outcomes.sum())
+    present_taken = counts[:, 1] + counts[:, 3]
+    absent_total = n - support
+    absent_taken = total_taken - present_taken
+    absent_correct = np.maximum(absent_taken, absent_total - absent_taken)
+    scores = (taken_bucket + not_taken_bucket + absent_correct) / n
+    scored = [
+        (tags[i], scores[i]) for i in np.nonzero(qualified)[0].tolist()
+    ]
     scored.sort(key=lambda item: (-item[1], item[0]))
     return scored
 
@@ -181,32 +238,45 @@ def select_for_branch(
         return Selection(tags=(best_single[0],), ideal_accuracy=best_single[1])
 
     top = [tag for tag, _score in scored[: config.top_k]]
-    vectors = {
-        tag: branch.state_vector(tag, config.window) for tag in top
-    }
-    outcomes = branch.outcomes
+    vectors = np.stack(
+        [branch.state_vector(tag, config.window) for tag in top]
+    ).astype(np.int64)
+    outcomes = branch.outcomes.astype(np.int64)
 
+    # All top-K pairs scored as one (pairs x instances) joint-key matrix
+    # pass; np.argmax returns the *first* maximum, which is exactly the
+    # pair the sequential strict-> loop would have kept.
     best_pair: Tuple[TagKey, ...] = (best_single[0],)
     best_pair_score = best_single[1]
-    for pair in combinations(top, 2):
-        score = joint_ideal_accuracy([vectors[t] for t in pair], outcomes)
-        if score > best_pair_score:
-            best_pair_score = score
-            best_pair = pair
+    pair_index = list(combinations(range(len(top)), 2))
+    left = np.fromiter((i for i, _j in pair_index), dtype=np.int64)
+    right = np.fromiter((j for _i, j in pair_index), dtype=np.int64)
+    pair_scores = _joint_scores(
+        vectors[left] * 3 + vectors[right], outcomes, 9
+    )
+    best = int(np.argmax(pair_scores))
+    if pair_scores[best] > best_pair_score:
+        best_pair_score = pair_scores[best]
+        best_pair = (top[pair_index[best][0]], top[pair_index[best][1]])
     if count == 2 or len(best_pair) < 2:
         return Selection(tags=tuple(best_pair), ideal_accuracy=best_pair_score)
 
-    # Greedy third: extend the best pair with the best remaining candidate.
+    # Greedy third: every extension of the best pair in one matrix pass.
     best_triple = best_pair
     best_triple_score = best_pair_score
-    pair_vectors = [vectors[t] for t in best_pair]
-    for tag in top:
-        if tag in best_pair:
-            continue
-        score = joint_ideal_accuracy(pair_vectors + [vectors[tag]], outcomes)
-        if score > best_triple_score:
-            best_triple_score = score
-            best_triple = best_pair + (tag,)
+    extensions = [
+        i for i, tag in enumerate(top) if tag not in best_pair
+    ]
+    if extensions:
+        i, j = pair_index[best]
+        pair_combined = vectors[i] * 3 + vectors[j]
+        triple_scores = _joint_scores(
+            pair_combined * 3 + vectors[np.asarray(extensions)], outcomes, 27
+        )
+        best = int(np.argmax(triple_scores))
+        if triple_scores[best] > best_triple_score:
+            best_triple_score = triple_scores[best]
+            best_triple = best_pair + (top[extensions[best]],)
     return Selection(tags=tuple(best_triple), ideal_accuracy=best_triple_score)
 
 

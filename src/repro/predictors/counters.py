@@ -8,7 +8,7 @@ most-significant bit is set.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -30,7 +30,7 @@ class SaturatingCounter:
 
     __slots__ = ("_bits", "_max", "_threshold", "value")
 
-    def __init__(self, bits: int = 2, initial: int = None) -> None:
+    def __init__(self, bits: int = 2, initial: Optional[int] = None) -> None:
         if bits < 1:
             raise ValueError(f"counter width must be >= 1, got {bits}")
         self._bits = bits
@@ -80,7 +80,7 @@ class CounterTable:
 
     __slots__ = ("_bits", "_max", "_threshold", "_table")
 
-    def __init__(self, size: int, bits: int = 2, initial: int = None) -> None:
+    def __init__(self, size: int, bits: int = 2, initial: Optional[int] = None) -> None:
         if size < 1:
             raise ValueError(f"table size must be >= 1, got {size}")
         if bits < 1:
@@ -150,7 +150,7 @@ class SparseCounterBank:
 
     __slots__ = ("_bits", "_max", "_threshold", "_initial", "_counters")
 
-    def __init__(self, bits: int = 2, initial: int = None) -> None:
+    def __init__(self, bits: int = 2, initial: Optional[int] = None) -> None:
         if bits < 1:
             raise ValueError(f"counter width must be >= 1, got {bits}")
         self._bits = bits

@@ -177,7 +177,24 @@ class SelectiveHistoryPredictor(BranchPredictor):
 
         Fits first when needed.  Requires the trace to be the one the
         predictor was fitted on (the oracle selections are per-run).
+        The counter replay runs through the batched
+        :func:`~repro.sim.kernels_global.simulate_selective` kernel: one
+        grouped chain over ``(branch, pattern)`` keys instead of a scalar
+        loop per instance.
         """
+        from repro.sim.kernels_global import simulate_selective
+
+        if self._selections is None:
+            self.fit(trace)
+        if self._data.trace_length != len(trace):
+            raise ValueError(
+                "simulate() must replay the fitted trace: fitted length "
+                f"{self._data.trace_length}, got {len(trace)}"
+            )
+        return simulate_selective(self, trace)
+
+    def _simulate_scalar(self, trace: Trace) -> np.ndarray:
+        """Scalar reference replay (the kernel's contract reference)."""
         if self._selections is None:
             self.fit(trace)
         data = self._data

@@ -23,6 +23,8 @@ exactly a per-address second level with an unbounded table.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.predictors.base import BranchPredictor
 
 import numpy as np
@@ -46,7 +48,7 @@ class GsharePredictor(BranchPredictor):
     def __init__(
         self,
         history_bits: int = 16,
-        pht_bits: int = None,
+        pht_bits: Optional[int] = None,
         counter_bits: int = 2,
     ) -> None:
         if history_bits < 0:
@@ -89,7 +91,15 @@ class GsharePredictor(BranchPredictor):
         self._history = ((self._history << 1) | int(taken)) & self._history_mask
 
     def simulate(self, trace: Trace) -> np.ndarray:
-        """Tight-loop fast path over raw Python ints (no numpy indexing)."""
+        """Vectorised fast path (see :mod:`repro.sim.kernels_global`)."""
+        from repro.sim.kernels_global import MAX_INDEX_BITS, simulate_gshare
+
+        if max(self._history_bits, self._pht_mask.bit_length()) > MAX_INDEX_BITS:
+            return self._simulate_scalar(trace)
+        return simulate_gshare(self, trace)
+
+    def _simulate_scalar(self, trace: Trace) -> np.ndarray:
+        """Scalar reference loop (kernel fallback for extreme widths)."""
         n = len(trace)
         correct = np.zeros(n, dtype=bool)
         pht = self._pht.tolist()
@@ -168,6 +178,15 @@ class GAsPredictor(BranchPredictor):
             self._pht[select, self._history] = value - 1
         self._history = ((self._history << 1) | int(taken)) & self._history_mask
 
+    def simulate(self, trace: Trace) -> np.ndarray:
+        """Vectorised fast path (see :mod:`repro.sim.kernels_global`)."""
+        from repro.sim.kernels_global import MAX_INDEX_BITS, simulate_gas
+
+        select_bits = self._select_mask.bit_length()
+        if self._history_bits + select_bits > MAX_INDEX_BITS:
+            return super().simulate(trace)
+        return simulate_gas(self, trace)
+
 
 class PAsPredictor(BranchPredictor):
     """Per-address two-level predictor.
@@ -234,7 +253,16 @@ class PAsPredictor(BranchPredictor):
         self._bht[bht_index] = ((history << 1) | int(taken)) & self._history_mask
 
     def simulate(self, trace: Trace) -> np.ndarray:
-        """Tight-loop fast path using Python lists for state."""
+        """Vectorised fast path (see :mod:`repro.sim.kernels_global`)."""
+        from repro.sim.kernels_global import MAX_INDEX_BITS, simulate_pas
+
+        select_bits = self._select_mask.bit_length()
+        if self._history_bits + select_bits > MAX_INDEX_BITS:
+            return self._simulate_scalar(trace)
+        return simulate_pas(self, trace)
+
+    def _simulate_scalar(self, trace: Trace) -> np.ndarray:
+        """Scalar reference loop (kernel fallback for extreme widths)."""
         n = len(trace)
         correct = np.zeros(n, dtype=bool)
         select_count = self._pht.shape[0]

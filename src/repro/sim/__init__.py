@@ -1,14 +1,27 @@
-"""Simulation engine: vectorised per-address kernels.
+"""Simulation engine: vectorised whole-trace kernels.
 
-Per-address predictors (interference-free PAs, the loop and pattern
-predictors, address-indexed counters) carry no cross-branch state: the
-prediction stream of one static branch depends only on that branch's own
-outcome sub-sequence.  :mod:`repro.sim.kernels` exploits this by grouping
-the trace by address once and simulating each group with numpy
-run-length and shift tricks instead of a per-dynamic-branch Python loop.
-Every kernel is bit-identical to the scalar predict/update loop; the
-``repro check`` contract pass (PC009) and the property tests in
-``tests/test_sim_kernels.py`` enforce it.
+Two kernel families, both bit-identical to the scalar predict/update
+loop (the ``repro check`` contract pass and the property tests in
+``tests/test_sim_kernels*.py`` enforce it):
+
+* :mod:`repro.sim.kernels` -- per-address predictors (interference-free
+  PAs, the loop and pattern predictors, address-indexed counters) carry
+  no cross-branch state, so the trace is grouped by address once and
+  each static branch's outcome sub-sequence is simulated with numpy
+  run-length and shift tricks.
+* :mod:`repro.sim.kernels_global` -- the two-level global-history family
+  (gshare, GAs, PAs, GAg, PAg) and the selective-history replay share
+  state across branches, but their state evolution depends only on trace
+  outcomes, so every PHT index is precomputable: pack the history
+  streams, group by index, and run each counter cell as an independent
+  run-length chain.
+
+:data:`KERNEL_BINDINGS` maps every exported kernel to the
+``repro.tools`` registry spec whose predictor exercises it; the PC010
+audit (:func:`repro.check.contracts.check_kernel_bindings`) fails
+``python -m repro check`` when a kernel is missing from this map, so no
+fast path can ship without the PC009 dynamic equivalence check covering
+it.
 """
 
 from repro.sim.kernels import (
@@ -18,11 +31,41 @@ from repro.sim.kernels import (
     simulate_if_pas,
     simulate_loop,
 )
+from repro.sim.kernels_global import (
+    simulate_gas,
+    simulate_gshare,
+    simulate_pas,
+    simulate_selective,
+)
+
+#: Kernel name -> ``repro.tools.PREDICTOR_REGISTRY`` spec whose default
+#: instance routes ``simulate()`` through that kernel.  The contract
+#: pass replays every registry entry (PC009), so a binding here is what
+#: puts a kernel under dynamic bit-identity enforcement; PC010 rejects
+#: exported kernels with no binding and stale bindings alike.  GAg and
+#: PAg ride the gas/pas kernels as zero-select-bit subclasses and are
+#: checked through their own registry entries.
+KERNEL_BINDINGS = {
+    "simulate_bimodal": "bimodal",
+    "simulate_block_pattern": "block",
+    "simulate_fixed_pattern": "fixed",
+    "simulate_gas": "gas",
+    "simulate_gshare": "gshare",
+    "simulate_if_pas": "if-pas",
+    "simulate_loop": "loop",
+    "simulate_pas": "pas",
+    "simulate_selective": "selective",
+}
 
 __all__ = [
+    "KERNEL_BINDINGS",
     "simulate_bimodal",
     "simulate_block_pattern",
     "simulate_fixed_pattern",
+    "simulate_gas",
+    "simulate_gshare",
     "simulate_if_pas",
     "simulate_loop",
+    "simulate_pas",
+    "simulate_selective",
 ]

@@ -35,7 +35,11 @@ from repro.predictors.interference_free import (
 from repro.predictors.loop import LoopPredictor
 from repro.predictors.path import PathBasedPredictor
 from repro.predictors.skewed import SkewedPredictor
-from repro.predictors.pattern import BlockPatternPredictor
+from repro.predictors.pattern import (
+    BlockPatternPredictor,
+    FixedLengthPatternPredictor,
+)
+from repro.predictors.selective import SelectiveHistoryPredictor
 from repro.predictors.static_ import (
     AlwaysNotTakenPredictor,
     AlwaysTakenPredictor,
@@ -58,6 +62,11 @@ from repro.trace.stream import (
 )
 from repro.workloads.suite import BENCHMARK_NAMES, load_benchmark
 
+def _fixed_pattern_factory(k: int = 8) -> FixedLengthPatternPredictor:
+    """Default-constructible wrapper (the class itself requires ``k``)."""
+    return FixedLengthPatternPredictor(k)
+
+
 #: Predictor factories accepted by ``simulate --predictor``.
 PREDICTOR_REGISTRY: Dict[str, Callable[..., BranchPredictor]] = {
     "always-taken": AlwaysTakenPredictor,
@@ -74,6 +83,8 @@ PREDICTOR_REGISTRY: Dict[str, Callable[..., BranchPredictor]] = {
     "if-pas": InterferenceFreePAs,
     "loop": LoopPredictor,
     "block": BlockPatternPredictor,
+    "fixed": _fixed_pattern_factory,
+    "selective": SelectiveHistoryPredictor,
     "path": PathBasedPredictor,
     "egskew": SkewedPredictor,
 }
