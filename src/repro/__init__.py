@@ -26,16 +26,19 @@ Public API highlights:
   checkpoint/resume journal, deterministic fault injection).
 * :mod:`repro.spec` / :mod:`repro.plan` -- declarative run descriptions
   (RunSpec, config sweeps) and the task graphs they expand into.
+* :mod:`repro.serve` / :mod:`repro.client` -- analysis as a service: a
+  long-lived daemon executing RunSpecs over a versioned HTTP wire API
+  with cross-client dedup, plus the matching thin client.
 * :mod:`repro.api` -- the stable facade; start here::
 
-      from repro import run_report          # or: from repro.api import run_report
-      run = run_report(["table2"], max_length=20_000)
-
-      from repro import RunSpec, run_spec   # declarative form
+      from repro import RunSpec, run_spec
       run = run_spec(RunSpec.from_file("spec.json"))
+
+      from repro import run_spec, spec_from_kwargs   # keyword form
+      run = run_spec(spec_from_kwargs(["table2"], max_length=20_000))
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.trace import Trace, TraceBuilder, read_trace, write_trace
 from repro.workloads import BENCHMARK_NAMES, load_benchmark, load_suite
@@ -44,34 +47,50 @@ from repro.workloads import BENCHMARK_NAMES, load_benchmark, load_suite
 # keep this import last so the package is populated enough by the time
 # it runs (and so deep-path imports never pay for it implicitly).
 from repro.api import (  # noqa: E402
+    AdmissionError,
+    EngineError,
     EngineOptions,
+    EngineSession,
     Lab,
     LabConfig,
+    PlanError,
+    PointRun,
     ReportRun,
+    ReproError,
     RunSpec,
+    SpecError,
     SweepRun,
     SweepSpec,
+    UnknownExperimentError,
     WorkloadSpec,
     build_labs,
     build_plan,
     generate_suite,
     run_experiment,
-    run_report,
     run_spec,
     run_sweep,
+    spec_from_kwargs,
 )
 
 __all__ = [
+    "AdmissionError",
     "BENCHMARK_NAMES",
+    "EngineError",
     "EngineOptions",
+    "EngineSession",
     "Lab",
     "LabConfig",
+    "PlanError",
+    "PointRun",
     "ReportRun",
+    "ReproError",
     "RunSpec",
+    "SpecError",
     "SweepRun",
     "SweepSpec",
     "Trace",
     "TraceBuilder",
+    "UnknownExperimentError",
     "WorkloadSpec",
     "__version__",
     "build_labs",
@@ -81,8 +100,8 @@ __all__ = [
     "load_suite",
     "read_trace",
     "run_experiment",
-    "run_report",
     "run_spec",
     "run_sweep",
+    "spec_from_kwargs",
     "write_trace",
 ]

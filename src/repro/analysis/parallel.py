@@ -248,6 +248,59 @@ def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool = False) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
 
 
+class WorkerPool:
+    """A reusable worker pool with an explicit lifecycle.
+
+    One priming pass historically meant one ``ProcessPoolExecutor``:
+    built at the start, torn down at the end, its warm workers (and
+    their per-process trace LRUs) discarded with it.  A long-lived
+    engine session -- a sweep, or the :mod:`repro.serve` daemon
+    fielding many runs -- passes a ``WorkerPool`` into
+    :func:`prime_labs` instead, so every run schedules onto the *same*
+    warm workers and cold-start is paid once per session, not once per
+    request.
+
+    The pool is lazy (no subprocesses until the first submit), rebuilds
+    itself when the supervisor kills a broken or hung executor, and
+    drains on demand: :meth:`drain` is what a SIGTERM-initiated
+    graceful shutdown calls -- cancel everything queued, reap the
+    workers, leave the journal/cache state to the owning session.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(1, int(jobs))
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def handle(self) -> ProcessPoolExecutor:
+        """The live executor, created on first use."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def rebuild(self) -> None:
+        """Kill the current executor; the next :meth:`handle` starts fresh."""
+        if self._pool is not None:
+            _shutdown_pool(self._pool, kill=True)
+            self._pool = None
+
+    def drain(self, kill: bool = False) -> None:
+        """Shut the pool down (idempotent).
+
+        ``kill=False`` is the graceful path: nothing new is accepted
+        and queued futures are cancelled, but running workers finish
+        their current attempt.  ``kill=True`` terminates them.
+        """
+        if self._pool is not None:
+            _shutdown_pool(self._pool, kill=kill)
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.drain(kill=exc_info[0] is not None)
+
+
 class _Supervisor:
     """Drives one parallel priming pass: submit, retry, kill, rebuild."""
 
@@ -258,6 +311,7 @@ class _Supervisor:
         order: Sequence[Tuple[str, str]],
         policy: RetryPolicy,
         injector: Optional[FaultInjector],
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         self.jobs = jobs
         self.specs = specs
@@ -269,25 +323,27 @@ class _Supervisor:
         self.results: Dict[Tuple[str, str], tuple] = {}
         self.failures: List[TaskFailure] = []
         self._seq = 0
-        self._pool: Optional[ProcessPoolExecutor] = None
+        # A shared pool outlives this pass (the owning session drains
+        # it); a private one is built on demand and reaped at the end.
+        self._shared = pool is not None
+        self._pool = pool if pool is not None else WorkerPool(jobs)
 
     # -- pool lifecycle ----------------------------------------------------
 
     def _pool_handle(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return self._pool
+        return self._pool.handle()
 
     def _rebuild_pool(self) -> None:
-        if self._pool is not None:
-            _shutdown_pool(self._pool, kill=True)
-            self._pool = None
+        self._pool.rebuild()
         METRICS.inc("parallel.pool_rebuilds")
 
     def shutdown(self, kill: bool = False) -> None:
-        if self._pool is not None:
-            _shutdown_pool(self._pool, kill=kill)
-            self._pool = None
+        # A clean end of pass leaves a shared pool warm for the next
+        # run; an interrupt (kill=True) reaps it either way -- the pool
+        # recreates its workers lazily if the session continues.
+        if self._shared and not kill:
+            return
+        self._pool.drain(kill=kill)
 
     # -- scheduling --------------------------------------------------------
 
@@ -462,6 +518,7 @@ def prime_labs(
     policy: Optional[RetryPolicy] = None,
     injector: Optional[FaultInjector] = None,
     failures: Optional[list] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> int:
     """Populate every lab's memos for ``tasks``, in parallel.
 
@@ -486,6 +543,10 @@ def prime_labs(
             appended here as a structured dict and the pass continues;
             if None, exhausted tasks are simply left unprimed (the lab
             computes them lazily on demand).
+        pool: A session-owned :class:`WorkerPool` to schedule onto.
+            When given it overrides ``jobs``, stays warm after the pass
+            (the owner drains it), and is shared with every other run
+            of the same session.
 
     Returns:
         The number of jobs that executed successfully (0 means
@@ -495,7 +556,7 @@ def prime_labs(
         FaultSpecError: If the fault spec injects hangs but the policy
             has no timeout to detect them with.
     """
-    jobs = resolve_jobs(jobs)
+    jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
     if policy is None:
         policy = RetryPolicy.resolve()
     if injector is not None and injector.wants_timeout() and policy.timeout is None:
@@ -539,7 +600,7 @@ def prime_labs(
         )
         for name, task in pending
     }
-    supervisor = _Supervisor(jobs, job_specs, pending, policy, injector)
+    supervisor = _Supervisor(jobs, job_specs, pending, policy, injector, pool=pool)
     with span("prime_labs", jobs=jobs, pending=len(pending)):
         supervisor.run()
 

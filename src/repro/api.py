@@ -4,8 +4,8 @@ Library users previously imported from deep module paths that moved as
 the engine grew (``repro.experiments.base``, ``repro.analysis.runner``,
 ``repro.workloads.suite``...).  This module is the supported surface:
 
->>> from repro.api import run_report
->>> run = run_report(["table2"], max_length=20_000)
+>>> from repro.api import RunSpec, run_spec, spec_from_kwargs
+>>> run = run_spec(spec_from_kwargs(["table2"], max_length=20_000))
 >>> print(run.results["table2"])          # rendered artefact
 >>> run.manifest["cache"]["hit_ratio"]    # run-level telemetry
 
@@ -27,13 +27,27 @@ the schema-versioned run manifest, and hosts the resilience layer
 (per-task retries, journal checkpointing, ``resume``, structured
 failures).  :func:`run_sweep` runs a swept spec point by point over
 one shared cache and journal, writing a manifest per grid point.
-:func:`run_report` remains as the legacy keyword surface: it builds
-the equivalent spec (same digest, same manifest, same journal keys)
-and delegates.
+
+Execution state has an explicit owner: an :class:`EngineSession` holds
+the resolved cache, retry policy, fault injector, journal and warm
+:class:`~repro.analysis.parallel.WorkerPool`.  ``run_spec`` builds a
+session per call by default; long-lived callers (sweeps do this
+internally, and the :mod:`repro.serve` daemon is the reason it exists)
+construct one session and pass it to every run, so all of them share
+one warm cache, one journal and one pool of warm workers.
+
+Every finished run serialises to one wire envelope:
+:meth:`ReportRun.to_dict` / :meth:`PointRun.to_dict` /
+:meth:`SweepRun.to_dict` all produce a ``result/v1`` document, and the
+same bytes come back from ``repro run``, ``repro sweep``, and the
+server's ``GET /v1/runs/{id}``.  (The old ``run_report`` keyword shim
+is gone -- build a spec with :func:`repro.spec.spec_from_kwargs` and
+execute it with :func:`run_spec`.)
 """
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import threading
@@ -43,8 +57,16 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.analysis.cache import ResultCache
 from repro.analysis.config import DEFAULT_CONFIG, LabConfig
-from repro.analysis.parallel import prime_labs, resolve_jobs
+from repro.analysis.parallel import WorkerPool, prime_labs, resolve_jobs
 from repro.analysis.runner import Lab
+from repro.errors import (
+    AdmissionError,
+    EngineError,
+    PlanError,
+    ReproError,
+    SpecError,
+    UnknownExperimentError,
+)
 from repro.experiments.base import (
     EXPERIMENT_IDS,
     EXTENSION_IDS,
@@ -64,27 +86,39 @@ from repro.spec import EngineOptions, RunSpec, SweepSpec, WorkloadSpec, spec_fro
 from repro.trace.trace import Trace
 from repro.workloads.suite import load_suite
 
+#: Schema tag of the run-result wire envelope (see ``docs/serving.md``).
+RESULT_SCHEMA = "result/v1"
+
 __all__ = [
     "EXPERIMENT_IDS",
     "EXTENSION_IDS",
+    "RESULT_SCHEMA",
+    "AdmissionError",
+    "EngineError",
     "EngineOptions",
+    "EngineSession",
     "Lab",
     "LabConfig",
     "Plan",
+    "PlanError",
     "PointRun",
     "ReportRun",
+    "ReproError",
     "RunSpec",
+    "SpecError",
     "SweepRun",
     "SweepSpec",
+    "UnknownExperimentError",
     "WorkloadSpec",
     "build_labs",
     "build_plan",
     "generate_suite",
     "prime_labs",
     "run_experiment",
-    "run_report",
     "run_spec",
     "run_sweep",
+    "spec_from_kwargs",
+    "write_result",
 ]
 
 
@@ -128,6 +162,34 @@ class ReportRun:
         """True when every task and experiment completed cleanly."""
         return not self.failures
 
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``result/v1`` wire envelope for this run.
+
+        The same envelope -- byte for byte under canonical JSON -- is
+        produced by ``repro run --result-out``, by each sweep point,
+        and by the server's ``GET /v1/runs/{id}``.  The ``spec`` key
+        carries the spec's *identity* section (the digest input), so
+        the envelope is independent of which engine executed it.
+        """
+        return {
+            "schema": RESULT_SCHEMA,
+            "kind": "report",
+            "ok": self.ok,
+            "spec": None if self.spec is None else self.spec.identity(),
+            "spec_digest": None if self.spec is None else self.spec.digest(),
+            "manifest": self.manifest,
+            "metrics": self.metrics,
+            "failures": list(self.failures),
+            "replayed": list(self.replayed),
+            "results": {
+                experiment_id: {
+                    "payload": result.to_dict(),
+                    "render": result.render(),
+                }
+                for experiment_id, result in self.results.items()
+            },
+        }
+
 
 @dataclass
 class PointRun:
@@ -137,6 +199,18 @@ class PointRun:
     spec: RunSpec
     report: ReportRun
     manifest_path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``result/v1`` envelope for this point (kind ``point``)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "kind": "point",
+            "ok": self.report.ok,
+            "coords": dict(self.coords),
+            "spec_digest": self.spec.digest(),
+            "manifest_path": self.manifest_path,
+            "report": self.report.to_dict(),
+        }
 
 
 @dataclass
@@ -162,13 +236,33 @@ class SweepRun:
         """True when every point completed cleanly."""
         return all(point.report.ok for point in self.points)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``result/v1`` envelope for this sweep (kind ``sweep``)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "kind": "sweep",
+            "ok": self.ok,
+            "spec": self.spec.identity(),
+            "spec_digest": self.spec.digest(),
+            "summary": self.summary,
+            "summary_path": self.summary_path,
+            "metrics": self.metrics,
+            "points": [point.to_dict() for point in self.points],
+        }
 
-def _resolve_cache(
-    use_cache: bool, cache_dir: Optional[str]
-) -> Optional[ResultCache]:
-    if not use_cache:
-        return None
-    return ResultCache(cache_dir)
+
+def write_result(
+    run: Union[ReportRun, "SweepRun", PointRun], path: str
+) -> None:
+    """Write a run's ``result/v1`` envelope as canonical JSON.
+
+    Canonical means key-sorted with 2-space indent -- the exact bytes
+    the server stores and serves, so artefacts written here diff clean
+    against ``GET /v1/runs/{id}`` responses.
+    """
+    with open(path, "w") as fh:
+        json.dump(run.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def _install_sigterm_handler():
@@ -196,45 +290,84 @@ def _validate_experiments(spec: RunSpec) -> None:
     known = set(EXPERIMENT_IDS) | set(EXTENSION_IDS)
     for experiment_id in spec.experiments:
         if experiment_id not in known:
-            raise KeyError(
+            raise UnknownExperimentError(
                 f"unknown experiment {experiment_id!r}; choose from "
                 f"{sorted(known)}"
             )
 
 
 @dataclass
-class _Engine:
-    """Resolved engine objects shared by every point of one invocation."""
+class EngineSession:
+    """Resolved engine state with an explicit lifecycle.
 
+    A session owns every piece of execution machinery a run needs --
+    the result cache, retry policy, fault injector, journal, and (for
+    parallel sessions) a warm :class:`WorkerPool` -- resolved once from
+    an :class:`EngineOptions` via :meth:`resolve`.  ``run_spec`` makes
+    a throwaway session per call when none is passed; a long-lived
+    caller (a sweep, the :mod:`repro.serve` daemon) resolves one
+    session up front and passes it to every run so they all share the
+    same warm cache, journal, and worker processes.
+
+    Sessions are context managers; :meth:`close` is idempotent and
+    drains the pool and closes the journal.
+    """
+
+    options: EngineOptions
     cache: Optional[ResultCache]
     jobs: int
     policy: RetryPolicy
-    injector: FaultInjector
+    injector: Optional[FaultInjector]
     journal: Optional[RunJournal]
     resume: bool
+    pool: Optional[WorkerPool] = None
+    served_by: Optional[str] = None
 
     @classmethod
-    def resolve(cls, options: EngineOptions) -> "_Engine":
+    def resolve(
+        cls,
+        options: EngineOptions,
+        *,
+        served_by: Optional[str] = None,
+    ) -> "EngineSession":
+        """Resolve options (env fallbacks included) into live state.
+
+        All environment fallback goes through
+        :meth:`EngineOptions.resolved` -- there is no other place where
+        ``REPRO_CACHE_DIR`` / ``REPRO_JOBS`` / retry / fault variables
+        are consulted.  ``served_by`` stamps manifests produced through
+        this session (the server passes its instance id).
+        """
+        resolved = options.resolved()
+        jobs = int(resolved.jobs)
         return cls(
-            cache=_resolve_cache(options.cache, options.cache_dir),
-            jobs=resolve_jobs(
-                options.jobs if options.jobs is None else int(options.jobs)
-            ),
-            policy=RetryPolicy.resolve(options.retries, options.task_timeout),
-            injector=(
-                FaultInjector.from_spec(options.fault_spec)
-                if options.fault_spec is not None
-                else FaultInjector.from_env()
-            ),
+            options=resolved,
+            cache=ResultCache(resolved.cache_dir) if resolved.cache else None,
+            jobs=jobs,
+            policy=RetryPolicy.resolve(resolved.retries, resolved.task_timeout),
+            injector=FaultInjector.from_spec(resolved.fault_spec),
             journal=(
-                RunJournal(options.journal, fresh=not options.resume)
-                if options.journal
+                RunJournal(resolved.journal, fresh=not resolved.resume)
+                if resolved.journal
                 else None
             ),
-            resume=options.resume,
+            resume=resolved.resume,
+            pool=WorkerPool(jobs) if jobs > 1 else None,
+            served_by=served_by,
         )
 
     def close(self) -> None:
+        if self.pool is not None:
+            self.pool.drain()
+        if self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.pool is not None:
+            self.pool.drain(kill=exc_type is not None)
         if self.journal is not None:
             self.journal.close()
 
@@ -244,7 +377,7 @@ def _run_point(
     coords: Dict[str, int],
     *,
     sims: tuple,
-    engine: _Engine,
+    engine: EngineSession,
     command: Optional[List[str]],
     say: Callable[[str], None],
     span_name: str = "report",
@@ -279,6 +412,7 @@ def _run_point(
             failures=failures,
             tasks=sims,
             benchmarks=workload.benchmarks,
+            pool=engine.pool,
         )
         build_seconds = time.perf_counter() - build_start
         total = sum(len(lab.trace) for lab in labs.values())
@@ -364,6 +498,7 @@ def _run_point(
         },
         spec_digest=point_spec.digest(),
         sweep=dict(coords) if coords else None,
+        served_by=engine.served_by,
     )
     return ReportRun(
         results=results,
@@ -381,12 +516,14 @@ def run_spec(
     *,
     json_out: Optional[str] = None,
     manifest_out: Optional[str] = None,
+    result_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
     trace_out: Optional[str] = None,
     manifest_dir: Optional[str] = None,
     summary_out: Optional[str] = None,
     command: Optional[List[str]] = None,
     echo: Optional[Callable[[str], None]] = None,
+    engine: Optional[EngineSession] = None,
 ) -> Union[ReportRun, "SweepRun"]:
     """Execute a :class:`RunSpec` end to end.
 
@@ -400,6 +537,7 @@ def run_spec(
         spec: The run description (see :mod:`repro.spec`).
         json_out: Also export the results as JSON to this path.
         manifest_out: Write the run manifest JSON to this path.
+        result_out: Write the ``result/v1`` envelope JSON to this path.
         metrics_out: Write the run's metric delta JSON to this path.
         trace_out: Write the run's Chrome-trace span JSON to this path.
         manifest_dir: Sweep runs: directory for per-point manifests.
@@ -407,14 +545,20 @@ def run_spec(
         command: The argv that launched the run, recorded in the
             manifest (None for library use).
         echo: Progress sink (e.g. ``print``); None runs silently.
+        engine: A caller-owned :class:`EngineSession` to execute on.
+            When given, the spec's engine section is ignored, no
+            SIGTERM handler is installed, and the caller keeps the
+            session open afterwards (server/sweep mode).  Default None
+            resolves a session from ``spec.engine`` and closes it.
 
     Returns:
         A :class:`ReportRun` (plain spec) or :class:`SweepRun` (swept
         spec).
 
     Raises:
-        KeyError: On an unknown experiment id.
-        ValueError: On a malformed fault spec, or hang faults without a
+        UnknownExperimentError: On an unknown experiment id (a
+            :class:`SpecError`, so ``except ValueError`` works too).
+        SpecError: On a malformed fault spec, or hang faults without a
             task timeout.
     """
     if spec.sweep is not None:
@@ -422,18 +566,22 @@ def run_spec(
             spec,
             manifest_dir=manifest_dir,
             summary_out=summary_out,
+            result_out=result_out,
             metrics_out=metrics_out,
             trace_out=trace_out,
             command=command,
             echo=echo,
+            engine=engine,
         )
     say = echo if echo is not None else (lambda message: None)
     _validate_experiments(spec)
-    engine = _Engine.resolve(spec.engine)
+    owned = engine is None
+    if owned:
+        engine = EngineSession.resolve(spec.engine)
     plan = build_plan(spec)
 
     TRACER.reset()
-    previous_sigterm = _install_sigterm_handler()
+    previous_sigterm = _install_sigterm_handler() if owned else None
     try:
         run = _run_point(
             spec,
@@ -446,7 +594,8 @@ def run_spec(
     finally:
         # The journal appends durably as each experiment completes, so
         # an interrupt here loses nothing already finished.
-        engine.close()
+        if owned:
+            engine.close()
         if previous_sigterm is not None:
             signal.signal(signal.SIGTERM, previous_sigterm)
 
@@ -458,6 +607,9 @@ def run_spec(
     if manifest_out:
         write_manifest(run.manifest, manifest_out)
         say(f"run manifest written to {manifest_out}")
+    if result_out:
+        write_result(run, result_out)
+        say(f"result envelope written to {result_out}")
     if metrics_out:
         _write_json(run.metrics, metrics_out)
         say(f"metrics written to {metrics_out}")
@@ -536,10 +688,12 @@ def run_sweep(
     *,
     manifest_dir: Optional[str] = None,
     summary_out: Optional[str] = None,
+    result_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
     trace_out: Optional[str] = None,
     command: Optional[List[str]] = None,
     echo: Optional[Callable[[str], None]] = None,
+    engine: Optional[EngineSession] = None,
 ) -> SweepRun:
     """Execute a swept spec point by point over one shared engine.
 
@@ -557,20 +711,26 @@ def run_sweep(
             ``sweep_summary.json`` (created if missing; None writes no
             files).
         summary_out: Override path for the JSON summary.
+        result_out: Write the sweep's ``result/v1`` envelope JSON here.
         metrics_out: Write the whole sweep's metric delta JSON here.
         trace_out: Write the whole sweep's Chrome-trace JSON here.
         command: The argv that launched the sweep.
         echo: Progress sink; None runs silently.
+        engine: A caller-owned :class:`EngineSession` (see
+            :func:`run_spec`); default None resolves one from
+            ``spec.engine`` for the sweep's duration.
 
     Raises:
-        ValueError: If the spec has no sweep.
-        KeyError: On an unknown experiment id.
+        SpecError: If the spec has no sweep.
+        UnknownExperimentError: On an unknown experiment id.
     """
     if spec.sweep is None:
-        raise ValueError("run_sweep requires a spec with a sweep section")
+        raise SpecError("run_sweep requires a spec with a sweep section")
     say = echo if echo is not None else (lambda message: None)
     _validate_experiments(spec)
-    engine = _Engine.resolve(spec.engine)
+    owned = engine is None
+    if owned:
+        engine = EngineSession.resolve(spec.engine)
     plan = build_plan(spec)
     stats = plan.stats()
     say(
@@ -580,7 +740,7 @@ def run_sweep(
 
     TRACER.reset()
     baseline = METRICS.snapshot()
-    previous_sigterm = _install_sigterm_handler()
+    previous_sigterm = _install_sigterm_handler() if owned else None
     points: List[PointRun] = []
     try:
         with TRACER.span("sweep", points=str(len(plan.points))):
@@ -616,7 +776,8 @@ def run_sweep(
                     )
                 )
     finally:
-        engine.close()
+        if owned:
+            engine.close()
         if previous_sigterm is not None:
             signal.signal(signal.SIGTERM, previous_sigterm)
 
@@ -638,108 +799,15 @@ def run_sweep(
         say(f"span trace written to {trace_out}")
     if engine.cache is not None:
         say(f"cache: {engine.cache.stats.summary()}")
-    return SweepRun(
+    run = SweepRun(
         spec=spec,
         points=points,
         summary=summary,
         summary_path=summary_path,
         metrics=metrics_delta,
     )
-
-
-def run_report(
-    experiments: Optional[List[str]] = None,
-    *,
-    max_length: Optional[int] = None,
-    config: Optional[LabConfig] = None,
-    seed: int = 12345,
-    jobs: Optional[Union[int, str]] = None,
-    use_cache: bool = True,
-    cache_dir: Optional[str] = None,
-    json_out: Optional[str] = None,
-    manifest_out: Optional[str] = None,
-    metrics_out: Optional[str] = None,
-    trace_out: Optional[str] = None,
-    command: Optional[List[str]] = None,
-    echo: Optional[Callable[[str], None]] = None,
-    retries: Optional[int] = None,
-    task_timeout: Optional[float] = None,
-    fault_spec: Optional[str] = None,
-    journal_path: Optional[str] = None,
-    resume: bool = False,
-) -> ReportRun:
-    """Run experiments end to end: labs, simulations, results, manifest.
-
-    Deprecated keyword surface over :func:`run_spec`: the kwargs are
-    folded into the equivalent :class:`RunSpec` (identical digest,
-    manifest and journal keys) and executed by the same engine, so
-    ``repro report`` flags and ``repro run spec.json`` files are
-    interchangeable.  Prefer constructing a spec directly in new code.
-
-    Args:
-        experiments: Experiment ids to run, in order (default: the nine
-            paper artefacts, :data:`EXPERIMENT_IDS`).  Duplicates run
-            once.
-        max_length: Scale anchor for the longest benchmark trace
-            (default: ``REPRO_TRACE_LENGTH`` or 200k).
-        config: Predictor sizing (default :data:`DEFAULT_CONFIG`).
-        seed: Workload execution seed.
-        jobs: Worker processes (default: ``REPRO_JOBS`` or CPU count).
-        use_cache: Consult/populate the on-disk result cache.
-        cache_dir: Cache root (default ``REPRO_CACHE_DIR`` or
-            ``.repro-cache``).
-        json_out: Also export the results as JSON to this path.
-        manifest_out: Write the run manifest JSON to this path.
-        metrics_out: Write the run's metric delta JSON to this path.
-        trace_out: Write the run's Chrome-trace span JSON to this path.
-        command: The argv that launched the run, recorded in the
-            manifest (None for library use).
-        echo: Progress sink (e.g. ``print``); None runs silently.
-        retries: Per-task retries after the first attempt (default:
-            ``REPRO_MAX_RETRIES`` or 2).
-        task_timeout: Per-task wall-clock limit in seconds for parallel
-            workers (default: ``REPRO_TASK_TIMEOUT`` or none).
-        fault_spec: Deterministic fault-injection spec (see
-            ``docs/resilience.md``; default: ``REPRO_FAULT_SPEC``).
-        journal_path: Append completed experiment results to this
-            crash-safe JSONL journal; None disables journaling.
-        resume: Replay journaled results whose run key matches this run
-            instead of re-running them (requires ``journal_path``).
-
-    Returns:
-        A :class:`ReportRun` with results, primed labs, the manifest
-        dict, the run's metric delta, and any structured failures
-        (check :attr:`ReportRun.ok`; a failed experiment no longer
-        raises).
-
-    Raises:
-        KeyError: On an unknown experiment id.
-        ValueError: On a malformed fault spec, or hang faults without a
-            task timeout.
-    """
-    spec = spec_from_kwargs(
-        experiments,
-        max_length=max_length,
-        config=config if config is not None else DEFAULT_CONFIG,
-        seed=seed,
-        jobs=jobs,
-        use_cache=use_cache,
-        cache_dir=cache_dir,
-        retries=retries,
-        task_timeout=task_timeout,
-        fault_spec=fault_spec,
-        journal_path=journal_path,
-        resume=resume,
-    )
-    run = run_spec(
-        spec,
-        json_out=json_out,
-        manifest_out=manifest_out,
-        metrics_out=metrics_out,
-        trace_out=trace_out,
-        command=command,
-        echo=echo,
-    )
-    assert isinstance(run, ReportRun)
+    if result_out:
+        write_result(run, result_out)
+        say(f"result envelope written to {result_out}")
     return run
 

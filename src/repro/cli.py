@@ -1,8 +1,8 @@
 """Command-line interface: ``repro [experiment ids | all | report]``.
 
-A thin shell over :func:`repro.api.run_report` -- the CLI parses flags,
-the facade runs the instrumented pipeline, so library runs and CLI runs
-are the same code path.
+A thin shell over :func:`repro.api.run_spec` -- the CLI parses flags
+into a :class:`~repro.spec.RunSpec`, the facade runs the instrumented
+pipeline, so library runs and CLI runs are the same code path.
 
 Examples::
 
@@ -22,6 +22,8 @@ Examples::
     repro plan spec.json         # show the task graph, run nothing
     repro sweep spec.json        # execute a spec's config sweep
     repro sweep --experiments fig9 --axis gshare_history_bits=8,16
+    repro serve --port 8023      # analysis-as-a-service daemon
+    repro submit spec.json --server http://127.0.0.1:8023
     repro obs show run_manifest.json   # inspect/validate a manifest
     repro cache stats            # inspect the result cache
     repro cache clear            # reclaim the cache directory
@@ -36,7 +38,9 @@ or, with an empty value, suppress it) and a crash-safe result journal
 replay it after an interrupted run).
 
 Exit codes: 0 clean; 1 finished with recorded failures; 2 bad usage;
-130 interrupted.
+130 interrupted.  Every :class:`repro.errors.ReproError` subclass
+carries its own ``exit_code``, so library and CLI error semantics stay
+aligned.
 """
 
 from __future__ import annotations
@@ -53,8 +57,8 @@ from repro.cliopts import (
     fault_spec_from_args,
     version_string,
 )
+from repro.errors import EXIT_INTERRUPTED, ReproError
 from repro.experiments.base import EXPERIMENT_IDS, EXTENSION_IDS
-from repro.resilience.faults import FaultSpecError
 
 #: Where ``repro sweep`` puts per-point manifests unless
 #: ``--manifest-dir`` says otherwise.
@@ -68,8 +72,9 @@ DEFAULT_MANIFEST_NAME = "run_manifest.json"
 #: results unless ``--journal`` says otherwise.
 DEFAULT_JOURNAL_NAME = "run_journal.jsonl"
 
-#: Conventional exit code for a SIGINT/SIGTERM-terminated run.
-EXIT_INTERRUPTED = 130
+# EXIT_INTERRUPTED (130, the conventional SIGINT code) moved to
+# repro.errors with the rest of the exit-code contract; re-exported
+# here for its historical import path.
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -164,11 +169,15 @@ def _cache_parser() -> argparse.ArgumentParser:
 
 def _cache_main(argv: List[str]) -> int:
     from repro.analysis.cache import ResultCache
+    from repro.spec import EngineOptions
 
     parser = _cache_parser()
     parser.add_argument("action", choices=("stats", "clear"))
     args = parser.parse_args(argv)
-    cache = ResultCache(args.cache_dir)
+    # One resolution path for REPRO_CACHE_DIR & co: the same
+    # EngineOptions.from_env() the engine itself uses.
+    options = EngineOptions.from_env(cache_dir=args.cache_dir)
+    cache = ResultCache(options.cache_dir)
     if args.action == "stats":
         # A missing or empty cache directory is a normal state (fresh
         # checkout, post-clear): report zero entries, exit 0.
@@ -276,9 +285,9 @@ def _execute_spec(spec, argv: List[str], **outputs) -> int:
             echo=lambda message: print(message, flush=True),
             **outputs,
         )
-    except FaultSpecError as error:
+    except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return error.exit_code
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
@@ -332,6 +341,13 @@ def _run_main(argv: List[str]) -> int:
         "--resume", action="store_true",
         help="replay journaled results instead of re-running them",
     )
+    parser.add_argument(
+        "--result-out", metavar="PATH", default=None,
+        help=(
+            "write the result/v1 envelope to PATH (the same document "
+            "the server returns from GET /v1/runs/{id})"
+        ),
+    )
     args = parser.parse_args(argv)
     spec, error_code = _load_spec(args.spec)
     if spec is None:
@@ -342,6 +358,7 @@ def _run_main(argv: List[str]) -> int:
             spec,
             ["run", *argv],
             manifest_dir=args.manifest_dir or DEFAULT_SWEEP_DIR,
+            result_out=args.result_out,
             metrics_out=args.metrics_out,
             trace_out=args.trace_out,
         )
@@ -353,6 +370,7 @@ def _run_main(argv: List[str]) -> int:
         ["run", *argv],
         json_out=args.json,
         manifest_out=manifest_out or None,
+        result_out=args.result_out,
         metrics_out=args.metrics_out,
         trace_out=args.trace_out,
     )
@@ -516,9 +534,9 @@ def _plan_main(argv: List[str]) -> int:
 
     try:
         plan = build_plan(spec)
-    except KeyError as error:
-        print(f"error: {error.args[0]}", file=sys.stderr)
-        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return error.exit_code
     print(plan.describe())
     return 0
 
@@ -536,6 +554,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _sweep_main(argv[1:])
     if argv and argv[0] == "plan":
         return _plan_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        from repro.client import main as submit_main
+
+        return submit_main(argv[1:])
     if argv and argv[0] == "check":
         # Static analysis has its own argument set; dispatch before the
         # experiment parser sees it.
@@ -582,9 +608,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if journal is None and (wants_manifest or args.resume):
         journal = DEFAULT_JOURNAL_NAME
 
-    if args.emit_spec:
-        from repro.spec import spec_from_kwargs
+    from repro.spec import spec_from_kwargs
 
+    try:
         spec = spec_from_kwargs(
             requested,
             max_length=args.max_length,
@@ -599,47 +625,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             journal_path=journal or None,
             resume=args.resume,
         )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return error.exit_code
+
+    if args.emit_spec:
         spec.to_file(args.emit_spec)
         print(f"run spec written to {args.emit_spec} ({spec.digest()})")
         return 0
 
-    from repro.api import run_report
-
-    start = time.time()
-    try:
-        run = run_report(
-            requested,
-            max_length=args.max_length,
-            config=config,
-            seed=args.seed,
-            jobs=args.jobs,
-            use_cache=not args.no_cache,
-            cache_dir=args.cache_dir,
-            json_out=args.json,
-            manifest_out=manifest_out or None,
-            metrics_out=args.metrics_out,
-            trace_out=args.trace_out,
-            command=["repro", *argv],
-            echo=lambda message: print(message, flush=True),
-            retries=args.retries,
-            task_timeout=args.task_timeout,
-            fault_spec=fault_spec_from_args(args),
-            journal_path=journal or None,
-            resume=args.resume,
-        )
-    except FaultSpecError as error:
-        # Malformed fault spec / resilience configuration: usage error.
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    except KeyboardInterrupt:
-        print(
-            "interrupted; completed experiments are journaled -- "
-            "re-run with --resume to continue",
-            file=sys.stderr,
-        )
-        return EXIT_INTERRUPTED
-    print(f"done in {time.time() - start:.1f}s")
-    return _finish(run)
+    return _execute_spec(
+        spec,
+        argv,
+        json_out=args.json,
+        manifest_out=manifest_out or None,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+    )
 
 
 __all__ = [

@@ -1,0 +1,281 @@
+"""Thin client for the ``repro serve`` wire API.
+
+:class:`ServeClient` speaks the versioned HTTP API from
+``docs/serving.md`` using only :mod:`http.client` -- no dependencies,
+so scripts and tests can drive a server with the same few lines::
+
+    from repro.client import ServeClient
+    client = ServeClient("http://127.0.0.1:8023", client_id="ci")
+    run_id, created = client.submit(spec)
+    doc = client.wait(run_id)          # poll until done/failed
+    doc["result"]                      # the result/v1 envelope
+
+Server-side errors come back as :mod:`repro.errors` exceptions: a 429
+raises :class:`~repro.errors.AdmissionError` with the server's
+machine-readable code, a 400 raises
+:class:`~repro.errors.SpecError`, and so on --
+:func:`repro.errors.error_from_payload` rehydrates them from the
+``error/v1`` body, so client code handles local and served runs with
+one ``except`` clause.
+
+``repro submit`` is the CLI face: submit a spec file, stream or poll,
+and write the result envelope / exit with the standard code contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import EngineError, ReproError, error_from_payload
+from repro.spec import RunSpec
+
+#: How long :meth:`ServeClient.wait` sleeps between status polls.
+DEFAULT_POLL_SECONDS = 0.2
+
+
+class ServeClient:
+    """One server endpoint plus this client's identity.
+
+    Args:
+        base_url: ``http://host:port`` of a running ``repro serve``.
+        client_id: Sent as ``X-Repro-Client``; the server's admission
+            control and fairness are per client id (default: this
+            process's pid-stamped id).
+        timeout: Socket timeout per request, seconds.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        client_id: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.client_id = (
+            client_id if client_id is not None else f"pid-{os.getpid()}"
+        )
+        self.timeout = timeout
+
+    # -- low level ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"X-Repro-Client": self.client_id}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            raise EngineError(
+                f"server returned non-JSON ({response.status}) for "
+                f"{method} {path}"
+            ) from None
+        return response.status, payload
+
+    def _checked(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        status, payload = self._request(method, path, body)
+        if status >= 400:
+            raise error_from_payload(payload)
+        return status, payload
+
+    # -- wire API -----------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._checked("GET", "/v1/healthz")[1]
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._checked("GET", "/v1/metrics")[1]
+
+    def submit(self, spec: RunSpec) -> Tuple[str, bool]:
+        """Submit a spec; returns ``(run_id, created)``.
+
+        ``created`` False means the server deduped this submission onto
+        an existing run (201 vs 200 on the wire).
+
+        Raises:
+            AdmissionError: 429 -- over the in-flight or queue limit.
+            SpecError: 400 -- the server rejected the spec.
+        """
+        status, payload = self._checked(
+            "POST",
+            "/v1/runs",
+            json.dumps(spec.to_dict()).encode("utf-8"),
+        )
+        return payload["id"], status == 201
+
+    def status(self, run_id: str) -> Dict[str, Any]:
+        """The run's status document (embeds ``result`` once finished)."""
+        return self._checked("GET", f"/v1/runs/{run_id}")[1]
+
+    def result(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """The run's ``result/v1`` envelope, or None while unfinished."""
+        return self.status(run_id).get("result")
+
+    def wait(
+        self,
+        run_id: str,
+        *,
+        timeout: Optional[float] = None,
+        poll: float = DEFAULT_POLL_SECONDS,
+    ) -> Dict[str, Any]:
+        """Poll until the run finishes; returns the final status doc.
+
+        Raises:
+            EngineError: If ``timeout`` seconds pass first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            doc = self.status(run_id)
+            if doc.get("status") in ("done", "failed"):
+                return doc
+            if deadline is not None and time.monotonic() > deadline:
+                raise EngineError(
+                    f"run {run_id} still {doc.get('status')!r} after "
+                    f"{timeout}s"
+                )
+            time.sleep(poll)
+
+    def events(self, run_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream the run's ND-JSON events until the terminal one.
+
+        Yields each ``event/v1`` document as a dict, in ``seq`` order.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "GET",
+                f"/v1/runs/{run_id}/events",
+                headers={"X-Repro-Client": self.client_id},
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    payload = {}
+                raise error_from_payload(payload)
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``repro submit``: run a spec file through a serve daemon."""
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description=(
+            "Submit a RunSpec JSON file to a 'repro serve' daemon, "
+            "wait for it, and report like a local run.  Identical "
+            "specs dedupe server-side onto one execution."
+        ),
+    )
+    parser.add_argument("spec", metavar="SPEC", help="RunSpec JSON file")
+    parser.add_argument(
+        "--server", default="http://127.0.0.1:8023",
+        help="base URL of the daemon (default http://127.0.0.1:8023)",
+    )
+    parser.add_argument(
+        "--client-id", default=None,
+        help="admission-control identity (default: pid-<pid>)",
+    )
+    parser.add_argument(
+        "--result-out", metavar="PATH", default=None,
+        help="write the result/v1 envelope to PATH",
+    )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="stream the run's ND-JSON events to stdout while waiting",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up after this many seconds (exit 1)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.cli import _load_spec
+
+    spec, error_code = _load_spec(args.spec)
+    if spec is None:
+        return error_code
+    client = ServeClient(args.server, client_id=args.client_id)
+    try:
+        run_id, created = client.submit(spec)
+        print(
+            f"run {run_id} {'submitted' if created else 'deduped'} to "
+            f"{args.server}"
+        )
+        if args.follow:
+            for event in client.events(run_id):
+                print(json.dumps(event, sort_keys=True), flush=True)
+            doc = client.status(run_id)
+        else:
+            doc = client.wait(run_id, timeout=args.timeout)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return error.exit_code
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {args.server}: {error}", file=sys.stderr)
+        return 1
+    if args.result_out and doc.get("result") is not None:
+        with open(args.result_out, "w") as fh:
+            json.dump(doc["result"], fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"result envelope written to {args.result_out}")
+    if doc.get("status") != "done":
+        error = doc.get("error") or {}
+        print(
+            f"error: run {run_id} {doc.get('status')}"
+            + (f": {error.get('message')}" if error else ""),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"run {run_id} done")
+    return 0
+
+
+__all__ = ["DEFAULT_POLL_SECONDS", "ServeClient", "main"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

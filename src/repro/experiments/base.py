@@ -160,6 +160,7 @@ def build_labs(
     failures: Optional[list] = None,
     tasks: Optional[tuple] = None,
     benchmarks: Optional[tuple] = None,
+    pool: Optional[Any] = None,
 ) -> Dict[str, Lab]:
     """One :class:`Lab` per suite benchmark, sharing a configuration.
 
@@ -184,6 +185,8 @@ def build_labs(
             their experiments declared.
         benchmarks: Benchmark subset to build (None = the full suite,
             :data:`~repro.workloads.suite.BENCHMARK_NAMES`).
+        pool: Session-owned :class:`repro.analysis.parallel.WorkerPool`
+            the priming pass schedules onto (None = a per-pass pool).
     """
     labs = {}
     with span("build_labs", run_seed=run_seed):
@@ -207,6 +210,7 @@ def build_labs(
                 policy=policy,
                 injector=injector,
                 failures=failures,
+                pool=pool,
             )
     return labs
 

@@ -2,7 +2,7 @@
 record of what was simulated and what it cost.
 
 A manifest is a plain JSON document (``run_manifest.json``) written at
-the end of a :func:`repro.api.run_report` / ``repro report`` invocation.
+the end of a :func:`repro.api.run_spec` / ``repro report`` invocation.
 It captures the run's *identity* (configuration digest, trace digests,
 run seed, package version), its *outputs* (a digest per experiment
 result, so bit-identity between two runs is a string comparison), and
@@ -31,7 +31,11 @@ from typing import Any, Dict, List, Optional
 #: v3 added ``spec_digest`` (the RunSpec identity digest the run
 #: executed) and ``sweep`` (this manifest's sweep coordinates, or None
 #: for a plain run).
-MANIFEST_SCHEMA_VERSION = 3
+#: v4 added ``served_by`` (the repro.serve instance id that executed
+#: the run, or None for a direct run).  Execution provenance, not
+#: identity: it is deliberately excluded from the deterministic diff
+#: keys, so a served manifest still diffs clean against a direct one.
+MANIFEST_SCHEMA_VERSION = 4
 
 #: Discriminator so readers can reject non-manifest JSON early.
 MANIFEST_KIND = "repro.run_manifest"
@@ -77,6 +81,7 @@ def build_manifest(
     resilience: Optional[dict] = None,
     spec_digest: Optional[str] = None,
     sweep: Optional[dict] = None,
+    served_by: Optional[str] = None,
 ) -> dict:
     """Assemble the manifest dict for one finished report run.
 
@@ -101,6 +106,8 @@ def build_manifest(
             callers predating the spec layer).
         sweep: This manifest's sweep coordinates as a ``{field: value}``
             mapping (None for a plain, non-sweep run).
+        served_by: The serving daemon's instance id when the run went
+            through ``repro serve`` (None for a direct run).
     """
     counters = metrics.get("counters", {})
     extra = resilience or {}
@@ -134,6 +141,7 @@ def build_manifest(
         "jobs": int(jobs),
         "spec_digest": spec_digest,
         "sweep": None if sweep is None else dict(sweep),
+        "served_by": served_by,
         "config_digest": config_digest(config),
         "config": {
             name: getattr(config, name)
@@ -189,6 +197,7 @@ _TOP_LEVEL_SPEC: Dict[str, tuple] = {
     "jobs": (int,),
     "spec_digest": (str, type(None)),
     "sweep": (dict, type(None)),
+    "served_by": (str, type(None)),
     "config_digest": (str,),
     "config": (dict,),
     "cache": (dict,),
@@ -378,6 +387,8 @@ def summarize_manifest(payload: dict) -> str:
     ]
     if payload.get("spec_digest"):
         lines.append(f"  spec:        {payload['spec_digest']}")
+    if payload.get("served_by"):
+        lines.append(f"  served by:   {payload['served_by']}")
     if payload.get("sweep"):
         coords = ", ".join(
             f"{name}={value}"

@@ -40,21 +40,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.config import task_config_key
+from repro.errors import PlanError, UnknownExperimentError
 from repro.spec import RunSpec
 
 #: Task kinds in dependency order.
 TASK_KINDS = ("trace", "sim", "experiment", "render")
 
-
-class PlanError(ValueError):
-    """A spec cannot be expanded into a sound plan.
-
-    Raised by :func:`build_plan` when an experiment's ``requires=``
-    declaration names a task outside the plannable set -- the runtime
-    mirror of the static DS003 diagnostic.  Without this the bad name
-    survives until a worker's ``compute_task`` raises ``KeyError``
-    mid-run (or never, if the point is cache-hit).
-    """
+# PlanError (re-exported here for its historical import path) is raised
+# by :func:`build_plan` when an experiment's ``requires=`` declaration
+# names a task outside the plannable set -- the runtime mirror of the
+# static DS003 diagnostic.  Without this the bad name survives until a
+# worker's ``compute_task`` raises ``KeyError`` mid-run (or never, if
+# the point is cache-hit).
+__all__ = ["Plan", "PlanError", "PlanTask", "TASK_KINDS", "build_plan"]
 
 
 @dataclass(frozen=True)
@@ -172,7 +170,8 @@ def build_plan(spec: RunSpec) -> Plan:
     in grid order.  Dedup is by content key, first occurrence wins.
 
     Raises:
-        KeyError: If the spec names an unregistered experiment.
+        UnknownExperimentError: If the spec names an unregistered
+            experiment.
         PlanError: If a named experiment's ``requires=`` declaration
             contains a task outside :data:`DEFAULT_TASKS` (nothing
             could ever prime it).
@@ -182,11 +181,11 @@ def build_plan(spec: RunSpec) -> Plan:
     from repro.workloads.suite import BENCHMARK_NAMES
 
     for experiment_id in spec.experiments:
-        bad = [
-            name
-            for name in experiment_requires(experiment_id)
-            if name not in DEFAULT_TASKS
-        ]
+        try:
+            required = experiment_requires(experiment_id)
+        except KeyError as error:
+            raise UnknownExperimentError(error.args[0]) from None
+        bad = [name for name in required if name not in DEFAULT_TASKS]
         if bad:
             raise PlanError(
                 f"experiment {experiment_id!r} declares requires= task(s) "

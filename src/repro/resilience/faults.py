@@ -40,6 +40,8 @@ from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from typing import Optional, Sequence, Tuple
 
+from repro.errors import SpecError
+
 #: Environment variable carrying a default fault spec (CI, tests).
 ENV_FAULT_SPEC = "REPRO_FAULT_SPEC"
 
@@ -52,12 +54,13 @@ FAULT_KINDS = ("crash", "hang", "corrupt")
 HANG_SECONDS = 3600.0
 
 
-class FaultSpecError(ValueError):
+class FaultSpecError(SpecError):
     """A malformed fault spec or an unusable fault configuration.
 
-    Distinct from plain ``ValueError`` so CLI layers can map exactly
-    the user's configuration mistakes to a usage exit code without
-    swallowing unrelated errors.
+    Part of the :mod:`repro.errors` taxonomy (a :class:`SpecError`,
+    hence still a ``ValueError``) so CLI layers can map exactly the
+    user's configuration mistakes to a usage exit code -- and the
+    server to HTTP 400 -- without swallowing unrelated errors.
     """
 
 

@@ -26,10 +26,12 @@ makes that grid the core experimental object: ``expand_points()`` turns
 one swept spec into per-point specs whose digests differ exactly in the
 swept fields.
 
-The legacy keyword surface remains as a shim: :func:`spec_from_kwargs`
-builds the identical spec ``run_report(**kwargs)`` always implied, so
-``run_report(max_length=20_000)`` and an explicit
+:func:`spec_from_kwargs` is the keyword-flavoured builder: it folds the
+CLI's loose flags into the identical spec, so
+``spec_from_kwargs(max_length=20_000)`` and an explicit
 ``RunSpec(workload=WorkloadSpec(max_length=20_000))`` share one digest.
+(The old ``api.run_report(**kwargs)`` shim that used to sit on top of
+it is gone; execute specs with :func:`repro.api.run_spec`.)
 """
 
 from __future__ import annotations
@@ -38,10 +40,12 @@ import dataclasses
 import hashlib
 import itertools
 import json
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.config import DEFAULT_CONFIG, LabConfig
+from repro.errors import SpecError
 
 #: Bump on any spec layout or semantics change.
 SPEC_SCHEMA_VERSION = 1
@@ -57,10 +61,6 @@ CONFIG_FIELDS: Tuple[str, ...] = tuple(
 #: Sweep expansion modes: ``grid`` takes the cartesian product of the
 #: axes, ``zip`` pairs them element-wise (all axes must be equal length).
 SWEEP_MODES = ("grid", "zip")
-
-
-class SpecError(ValueError):
-    """A spec document or spec construction is malformed."""
 
 
 def _reject_unknown(payload: Dict[str, Any], allowed, context: str) -> None:
@@ -168,6 +168,72 @@ class EngineOptions:
         _require(payload, dict, "engine")
         _reject_unknown(payload, cls._FIELDS, "engine")
         return cls(**payload)
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "EngineOptions":
+        """Options with every unset field resolved from the environment.
+
+        This is the *single* env/flag resolution point: the engine
+        (:class:`repro.api.EngineSession`), the server, and CLI
+        utilities like ``repro cache stats`` all route through it, so
+        one ``REPRO_*`` variable means one thing everywhere.
+
+        ``overrides`` are CLI-flag-style values; ``None`` (or an absent
+        key) defers to the environment, which in turn defers to the
+        built-in default:
+
+        * ``jobs`` -- ``REPRO_JOBS``, else the CPU count;
+        * ``cache_dir`` -- ``REPRO_CACHE_DIR``, else ``.repro-cache``;
+        * ``retries``/``task_timeout`` -- ``REPRO_MAX_RETRIES`` /
+          ``REPRO_TASK_TIMEOUT``, else unset (the retry policy's own
+          defaults apply);
+        * ``fault_spec`` -- ``REPRO_FAULT_SPEC``, else unset.
+
+        Raises:
+            SpecError: On an unknown override name.
+        """
+        _reject_unknown(overrides, cls._FIELDS, "engine")
+        options = cls(**overrides)
+        return options.resolved()
+
+    def resolved(self) -> "EngineOptions":
+        """A copy with every ``None`` field pinned to its env default.
+
+        Two resolved option sets built under the same environment are
+        equal, which is what lets the server, the CLI and tests agree
+        on where the cache lives and how many workers run without each
+        re-parsing ``REPRO_*`` variables on its own.
+        """
+        from repro.analysis.cache import default_cache_dir
+        from repro.analysis.parallel import resolve_jobs
+        from repro.resilience.faults import ENV_FAULT_SPEC
+        from repro.resilience.retry import ENV_MAX_RETRIES, ENV_TASK_TIMEOUT
+
+        updates: Dict[str, Any] = {}
+        updates["jobs"] = resolve_jobs(
+            self.jobs if self.jobs is None else int(self.jobs)
+        )
+        if self.cache_dir is None:
+            updates["cache_dir"] = str(default_cache_dir())
+        if self.retries is None:
+            text = os.environ.get(ENV_MAX_RETRIES)
+            if text:
+                try:
+                    updates["retries"] = int(text)
+                except ValueError:
+                    pass
+        if self.task_timeout is None:
+            text = os.environ.get(ENV_TASK_TIMEOUT)
+            if text:
+                try:
+                    updates["task_timeout"] = float(text)
+                except ValueError:
+                    pass
+        if self.fault_spec is None:
+            env_spec = os.environ.get(ENV_FAULT_SPEC)
+            if env_spec:
+                updates["fault_spec"] = env_spec
+        return replace(self, **updates)
 
 
 @dataclass(frozen=True)
@@ -444,11 +510,11 @@ def spec_from_kwargs(
     journal_path: Optional[str] = None,
     resume: bool = False,
 ) -> RunSpec:
-    """The deprecated keyword surface, as a spec.
+    """The keyword surface, folded into a spec.
 
-    This is the shim :func:`repro.api.run_report` routes through: the
-    spec it builds carries exactly the same identity an explicit
-    :class:`RunSpec` with these values would, so legacy callers and
+    The spec it builds carries exactly the same identity an explicit
+    :class:`RunSpec` with these values would, so keyword callers
+    (``run_spec(spec_from_kwargs(...))``, the CLI's flag path) and
     spec files produce interchangeable digests, manifests and journal
     keys.
     """

@@ -2,23 +2,52 @@
 
 import pytest
 
-from repro.api import ReportRun, generate_suite, run_report
+from repro.api import (
+    RESULT_SCHEMA,
+    ReportRun,
+    UnknownExperimentError,
+    generate_suite,
+    run_spec,
+    spec_from_kwargs,
+)
+
+
+def report(experiments, **kwargs):
+    outputs = {
+        name: kwargs.pop(name)
+        for name in (
+            "json_out", "manifest_out", "result_out", "metrics_out",
+            "trace_out", "echo",
+        )
+        if name in kwargs
+    }
+    return run_spec(spec_from_kwargs(experiments, **kwargs), **outputs)
 
 
 class TestFacadeSurface:
     def test_package_reexports(self):
         import repro
 
-        assert repro.run_report is run_report
+        assert repro.run_spec is run_spec
+        assert repro.spec_from_kwargs is spec_from_kwargs
         assert repro.ReportRun is ReportRun
         for name in (
             "Lab",
             "LabConfig",
+            "EngineSession",
+            "SpecError",
             "build_labs",
             "generate_suite",
             "run_experiment",
         ):
             assert hasattr(repro, name), name
+
+    def test_run_report_shim_is_gone(self):
+        import repro
+        import repro.api
+
+        assert not hasattr(repro, "run_report")
+        assert not hasattr(repro.api, "run_report")
 
     def test_facade_matches_deep_paths(self):
         # The facade re-exports; it does not fork the implementation.
@@ -41,13 +70,16 @@ class TestFacadeSurface:
         assert all(len(trace) > 0 for trace in traces.values())
 
 
-class TestRunReport:
-    def test_unknown_experiment_raises_keyerror(self):
-        with pytest.raises(KeyError, match="fig99"):
-            run_report(["fig99"], max_length=2000, use_cache=False)
+class TestRunSpecFacade:
+    def test_unknown_experiment_raises_spec_error(self):
+        with pytest.raises(UnknownExperimentError, match="fig99"):
+            report(["fig99"], max_length=2000, use_cache=False)
+        # Pre-taxonomy callers caught ValueError; that still works.
+        with pytest.raises(ValueError, match="fig99"):
+            report(["fig99"], max_length=2000, use_cache=False)
 
     def test_single_experiment_run(self, tmp_path):
-        run = run_report(
+        run = report(
             ["table1"],
             max_length=2000,
             cache_dir=str(tmp_path / "c"),
@@ -61,7 +93,7 @@ class TestRunReport:
         assert run.metrics["counters"]["experiments.run"] == 1
 
     def test_duplicates_run_once(self, tmp_path):
-        run = run_report(
+        run = report(
             ["table1", "table1"],
             max_length=2000,
             cache_dir=str(tmp_path / "c"),
@@ -72,7 +104,7 @@ class TestRunReport:
 
     def test_echo_preserves_cli_progress_lines(self, tmp_path):
         lines = []
-        run_report(
+        report(
             ["table1"],
             max_length=2000,
             cache_dir=str(tmp_path / "c"),
@@ -86,14 +118,14 @@ class TestRunReport:
         assert "cache:" in text
 
     def test_silent_without_echo(self, tmp_path, capsys):
-        run_report(
+        report(
             ["table1"], max_length=2000, cache_dir=str(tmp_path / "c"), jobs=1
         )
         captured = capsys.readouterr()
         assert captured.out == ""
 
     def test_no_cache_run_has_cache_disabled_manifest(self):
-        run = run_report(["table1"], max_length=2000, use_cache=False, jobs=1)
+        run = report(["table1"], max_length=2000, use_cache=False, jobs=1)
         assert run.manifest["cache"]["enabled"] is False
         assert run.manifest["cache"]["dir"] is None
 
@@ -104,7 +136,7 @@ class TestRunReport:
         metrics_path = tmp_path / "metrics.json"
         trace_path = tmp_path / "spans.json"
         json_path = tmp_path / "results.json"
-        run_report(
+        report(
             ["table1"],
             max_length=2000,
             cache_dir=str(tmp_path / "c"),
@@ -124,6 +156,74 @@ class TestRunReport:
         assert "build_labs" in names
         results = json.loads(json_path.read_text())
         assert results["table1"]["schema_version"] == 2
+
+
+class TestResultEnvelope:
+    def test_report_envelope_shape(self, tmp_path):
+        run = report(
+            ["table1"], max_length=2000, cache_dir=str(tmp_path / "c"), jobs=1
+        )
+        doc = run.to_dict()
+        assert doc["schema"] == RESULT_SCHEMA
+        assert doc["kind"] == "report"
+        assert doc["ok"] is True
+        assert doc["spec_digest"] == run.spec.digest()
+        assert doc["spec"] == run.spec.identity()
+        assert doc["manifest"] == run.manifest
+        assert set(doc["results"]) == {"table1"}
+        entry = doc["results"]["table1"]
+        assert entry["payload"] == run.results["table1"].to_dict()
+        assert entry["render"] == run.results["table1"].render()
+
+    def test_result_out_writes_canonical_envelope(self, tmp_path):
+        import json
+
+        result_path = tmp_path / "result.json"
+        run = report(
+            ["table1"],
+            max_length=2000,
+            cache_dir=str(tmp_path / "c"),
+            jobs=1,
+            result_out=str(result_path),
+        )
+        on_disk = json.loads(result_path.read_text())
+        assert on_disk == json.loads(
+            json.dumps(run.to_dict(), sort_keys=True)
+        )
+
+    def test_envelope_is_engine_independent(self, tmp_path):
+        # Same identity, different engine options: identical envelope
+        # identity fields (the dedup/wire-compat property the server
+        # depends on).
+        one = report(
+            ["table1"], max_length=2000, cache_dir=str(tmp_path / "a"), jobs=1
+        )
+        two = report(
+            ["table1"], max_length=2000, cache_dir=str(tmp_path / "b"), jobs=2
+        )
+        assert one.to_dict()["spec"] == two.to_dict()["spec"]
+        assert one.to_dict()["spec_digest"] == two.to_dict()["spec_digest"]
+
+    def test_sweep_envelope_embeds_point_envelopes(self, tmp_path):
+        import dataclasses
+
+        from repro.spec import SweepSpec
+
+        spec = spec_from_kwargs(
+            ["fig9"], max_length=2000, cache_dir=str(tmp_path / "c"), jobs=1
+        )
+        spec = dataclasses.replace(
+            spec, sweep=SweepSpec(axes=(("gshare_history_bits", (4, 6)),))
+        )
+        sweep = run_spec(spec)
+        doc = sweep.to_dict()
+        assert doc["schema"] == RESULT_SCHEMA
+        assert doc["kind"] == "sweep"
+        assert len(doc["points"]) == 2
+        for point in doc["points"]:
+            assert point["schema"] == RESULT_SCHEMA
+            assert point["kind"] == "point"
+            assert point["report"]["kind"] == "report"
 
 
 def validate_clean(manifest):

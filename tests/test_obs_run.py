@@ -14,8 +14,12 @@ The acceptance bar for the observability layer:
 
 import pytest
 
-from repro.api import run_report
+from repro.api import run_spec, spec_from_kwargs
 from repro.obs.manifest import diff_manifests, validate_manifest
+
+
+def run_report(experiments, **kwargs):
+    return run_spec(spec_from_kwargs(experiments, **kwargs))
 
 # fig5 declares the correlation task (so collections are actually
 # scheduled -- the planner primes only declared work); fig6 brings the

@@ -72,7 +72,9 @@ class TestPlainPlan:
         assert [t.benchmark for t in traces] == ["gcc", "compress"]
 
     def test_unknown_experiment_raises(self):
-        with pytest.raises(KeyError):
+        from repro.errors import UnknownExperimentError
+
+        with pytest.raises(UnknownExperimentError, match="fig99"):
             build_plan(fig9_spec(experiments=("fig99",)))
 
     def test_no_dedup_within_a_single_point(self):

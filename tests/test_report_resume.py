@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 import repro.api as api
-from repro.api import run_report
+from repro.api import run_spec, spec_from_kwargs
 from repro.resilience.journal import RunJournal
 
 SMALL = 2000
@@ -22,7 +22,7 @@ def report(tmp_path, experiments, **kwargs):
     kwargs.setdefault("max_length", SMALL)
     kwargs.setdefault("cache_dir", str(tmp_path / "c"))
     kwargs.setdefault("jobs", 1)
-    return run_report(experiments, **kwargs)
+    return run_spec(spec_from_kwargs(experiments, **kwargs))
 
 
 class TestJournaling:
