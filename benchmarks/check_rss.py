@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""CI memory gate: streamed runs must hold peak RSS flat in trace length.
+
+The streaming trace path (``repro.trace.stream`` + ``stream_report``)
+promises bounded memory: generation spills fixed windows to a chunked
+``.bpt`` file, and the report folds kernels window by window, so peak
+residency is O(window), not O(trace).  This script *measures* that
+promise with ``resource.getrusage``: it runs one streamed
+generate-then-report cycle per trace length, each in a fresh subprocess
+of itself (``ru_maxrss`` is a process-lifetime high-water mark, so
+lengths cannot share a process), and fails if peak RSS grows with trace
+length beyond the budget ratio.
+
+Usage::
+
+    python benchmarks/check_rss.py                      # default gate
+    python benchmarks/check_rss.py --lengths 2000000,10000000
+    python benchmarks/check_rss.py --out rss_profile.json
+
+Exit status 0 iff every length completes and
+``max(rss) / min(rss) <= --budget`` (default 1.10, i.e. RSS may vary
+10% across a 4x trace-length spread but must not scale with it).
+The JSON profile written to ``--out`` is the CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.join(os.path.dirname(HERE), "src")
+
+
+def peak_rss_bytes() -> int:
+    """This process's lifetime peak RSS in bytes (ru_maxrss is KiB on Linux)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
+def run_child(length: int, chunk_branches: int, benchmark: str) -> dict:
+    """One streamed generate+report cycle; returns the measurement."""
+    from repro.analysis.config import DEFAULT_CONFIG
+    from repro.analysis.streamed import stream_report
+    from repro.trace.stream import TraceStream
+    from repro.workloads.suite import stream_benchmark
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, f"{benchmark}.bpt")
+        start = time.perf_counter()
+        written = stream_benchmark(
+            benchmark, path, length=length, chunk_branches=chunk_branches
+        )
+        generate_seconds = time.perf_counter() - start
+        spill_bytes = os.path.getsize(path)
+        stream = TraceStream.open(path)
+        start = time.perf_counter()
+        report = stream_report(stream, DEFAULT_CONFIG)
+        report_seconds = time.perf_counter() - start
+    return {
+        "length": length,
+        "branches_written": written,
+        "chunk_branches": chunk_branches,
+        "benchmark": benchmark,
+        "spill_bytes": spill_bytes,
+        "generate_seconds": round(generate_seconds, 3),
+        "report_seconds": round(report_seconds, 3),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "accuracy": {
+            task: round(entry["accuracy"], 6) for task, entry in report.items()
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--lengths",
+        default="500000,2000000",
+        help="comma-separated trace lengths to measure (default 500k,2M)",
+    )
+    parser.add_argument(
+        "--chunk-branches",
+        type=int,
+        default=65536,
+        help="streaming window (default 65536)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default="compress",
+        help="suite benchmark profile to generate (default compress)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=1.10,
+        help="max allowed peak-RSS ratio across lengths (default 1.10)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON RSS profile here (the CI artifact)",
+    )
+    parser.add_argument(
+        "--child",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,  # internal: run one length and print JSON
+    )
+    args = parser.parse_args(argv)
+
+    if args.child is not None:
+        measurement = run_child(args.child, args.chunk_branches, args.benchmark)
+        json.dump(measurement, sys.stdout)
+        return 0
+
+    lengths = sorted({int(text) for text in args.lengths.split(",")})
+    if len(lengths) < 2:
+        print("error: need at least two lengths to compare", file=sys.stderr)
+        return 2
+
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = SRC + os.pathsep + environment.get(
+        "PYTHONPATH", ""
+    )
+    measurements = []
+    for length in lengths:
+        print(f"measuring streamed run at {length} branches...", flush=True)
+        completed = subprocess.run(
+            [
+                sys.executable,
+                os.path.abspath(__file__),
+                "--child",
+                str(length),
+                "--chunk-branches",
+                str(args.chunk_branches),
+                "--benchmark",
+                args.benchmark,
+            ],
+            env=environment,
+            capture_output=True,
+            text=True,
+        )
+        if completed.returncode != 0:
+            print(completed.stdout, file=sys.stderr)
+            print(completed.stderr, file=sys.stderr)
+            print(f"error: child at length {length} failed", file=sys.stderr)
+            return 1
+        measurement = json.loads(completed.stdout)
+        rss_mib = measurement["peak_rss_bytes"] / (1024 * 1024)
+        print(
+            f"  {length:>10} branches: peak RSS {rss_mib:8.1f} MiB, "
+            f"generate {measurement['generate_seconds']:6.1f}s, "
+            f"report {measurement['report_seconds']:6.1f}s",
+            flush=True,
+        )
+        measurements.append(measurement)
+
+    peaks = [entry["peak_rss_bytes"] for entry in measurements]
+    ratio = max(peaks) / min(peaks)
+    verdict = ratio <= args.budget
+    profile = {
+        "schema": "rss_profile/v1",
+        "budget_ratio": args.budget,
+        "observed_ratio": round(ratio, 4),
+        "flat": verdict,
+        "measurements": measurements,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(profile, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"RSS profile written to {args.out}")
+    spread = max(lengths) / min(lengths)
+    print(
+        f"peak-RSS ratio across a {spread:.0f}x length spread: "
+        f"{ratio:.3f} (budget {args.budget})"
+    )
+    if not verdict:
+        print(
+            "error: peak RSS grows with trace length -- the streaming "
+            "path is leaking whole-trace state",
+            file=sys.stderr,
+        )
+        return 1
+    print("memory gate passed: peak RSS is flat in trace length")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

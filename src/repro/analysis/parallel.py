@@ -14,6 +14,16 @@ inputs (a per-process LRU plus the shared disk cache make this cheap)
 and the parent verifies the returned trace digest before folding, so
 completion order and worker scheduling cannot change any result.
 
+Streaming: with ``chunk_branches`` set, the causal tasks
+(:data:`~repro.analysis.streamed.CHUNKABLE_TASKS`) run as *chunk
+lanes* instead of whole-trace jobs -- each benchmark's columns are
+published once into :mod:`multiprocessing.shared_memory` and workers
+simulate fixed windows, resuming from the carried predictor state the
+previous chunk returned.  Nothing trace-length-proportional is ever
+pickled into a submission, and the folded bitmaps are bit-identical to
+the unchunked run (the PC011 contract check and the split-point
+property tests enforce it).
+
 Resilience: the parent runs a supervisor loop rather than a bare
 ``as_completed``.  A failing attempt (worker exception, injected
 crash, lost worker, wall-clock timeout) is retried with deterministic
@@ -50,15 +60,19 @@ plain in-process path with no executor, no pickling and no subprocesses
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.analysis.cache import ResultCache, result_key
 from repro.analysis.config import LabConfig
 from repro.analysis.runner import Lab
+from repro.analysis.streamed import CHUNKABLE_TASKS, chunked_bitmap
 from repro.correlation.tagging import collect_correlation_data
 from repro.obs.metrics import METRICS
 from repro.obs.tracing import TRACER, span
@@ -70,6 +84,7 @@ from repro.resilience.faults import (
     InjectedCrash,
 )
 from repro.resilience.retry import RetryPolicy, TaskFailure, TaskTimeout
+from repro.trace.stream import TraceStream, chunk_spans, normalize_chunk_branches
 from repro.trace.trace import Trace
 
 #: Environment variable overriding the worker count.
@@ -220,6 +235,47 @@ def _run_task(job: tuple):
     return (
         name, task, digest, result,
         METRICS.snapshot(), TRACER.chrome_events(), duration,
+    )
+
+
+def _run_chunk(job: tuple):
+    """Execute one chunk attempt of a chunked lane in a worker process.
+
+    The trace window comes from the parent's shared-memory segment --
+    no column pickling, no regeneration -- and the predictor resumes
+    from the carried state the lane's previous chunk returned (None for
+    the first chunk).  Returns the window's correctness bitmap plus the
+    predictor's new pickled state, so the parent can chain the next
+    chunk on any worker.
+    """
+    (shm_name, length, start, stop, config, task, state_blob) = job
+    from repro.analysis.shm import attach_window
+    from repro.analysis.streamed import task_predictor
+
+    METRICS.reset()
+    TRACER.reset()
+    begin = time.perf_counter()
+    window, handle = attach_window(shm_name, length, start, stop)
+    try:
+        with span("chunk", task=task, start=start, stop=stop):
+            predictor = (
+                pickle.loads(state_blob)
+                if state_blob is not None
+                else task_predictor(config, task)
+            )
+            METRICS.inc("sim.chunk_simulations")
+            bitmap = np.asarray(predictor.simulate(window), dtype=bool)
+            state = pickle.dumps(predictor, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        del window
+        try:
+            handle.close()
+        except BufferError:
+            pass
+    return (
+        bitmap, state,
+        METRICS.snapshot(), TRACER.chrome_events(),
+        time.perf_counter() - begin,
     )
 
 
@@ -508,6 +564,253 @@ class _Supervisor:
             self.ready.appendleft((key, attempt))
 
 
+class _ChunkScheduler:
+    """Chunk lanes over the pool: sequential per lane, parallel across.
+
+    A *lane* is one ``(benchmark, task)`` pair whose trace is folded
+    window by window: chunk ``k`` resumes from the predictor state
+    chunk ``k-1`` returned, so a lane is inherently sequential, but the
+    48 lanes of a full chunked report keep the pool busy.  The carried
+    state lives in the parent between chunks, which is what makes a
+    chunk attempt retryable -- a crashed worker costs one window, not
+    the lane.  A lane that exhausts one chunk's attempt budget becomes
+    a :class:`TaskFailure` and the lab computes that task lazily.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        lanes: Dict[Tuple[str, str], dict],
+        order: Sequence[Tuple[str, str]],
+        policy: RetryPolicy,
+        pool: Optional[WorkerPool] = None,
+    ) -> None:
+        self.jobs = jobs
+        self.lanes = lanes
+        self.policy = policy
+        self.progress = {
+            key: {
+                "next": 0, "state": None, "parts": [],
+                "deltas": [], "events": [], "seconds": 0.0,
+            }
+            for key in order
+        }
+        self.ready = deque((key, 1) for key in order)
+        self.waiting: List[Tuple[float, int, Tuple[str, str], int]] = []
+        self.active: Dict[object, Tuple[Tuple[str, str], int]] = {}
+        self.results: Dict[Tuple[str, str], tuple] = {}
+        self.failures: List[TaskFailure] = []
+        self._seq = 0
+        self._shared = pool is not None
+        self._pool = pool if pool is not None else WorkerPool(jobs)
+
+    def _rebuild_pool(self) -> None:
+        self._pool.rebuild()
+        METRICS.inc("parallel.pool_rebuilds")
+
+    def shutdown(self, kill: bool = False) -> None:
+        if self._shared and not kill:
+            return
+        self._pool.drain(kill=kill)
+
+    def _submit(self, key: Tuple[str, str], attempt: int) -> None:
+        lane = self.lanes[key]
+        prog = self.progress[key]
+        start, stop = lane["spans"][prog["next"]]
+        spec = (
+            lane["shm"], lane["length"], start, stop,
+            lane["config"], key[1], prog["state"],
+        )
+        try:
+            future = self._pool.handle().submit(_run_chunk, spec)
+        except BrokenProcessPool:
+            self._rebuild_pool()
+            future = self._pool.handle().submit(_run_chunk, spec)
+        self.active[future] = (key, attempt)
+
+    def _defer(self, key: Tuple[str, str], attempt: int) -> None:
+        backoff = self.policy.backoff(attempt)
+        METRICS.inc("resilience.retries")
+        METRICS.add_time("resilience.backoff_seconds", backoff)
+        self._seq += 1
+        self.waiting.append(
+            (time.monotonic() + backoff, self._seq, key, attempt + 1)
+        )
+
+    def _on_attempt_failure(
+        self, key: Tuple[str, str], attempt: int, kind: str, message: str
+    ) -> None:
+        if attempt >= self.policy.max_attempts:
+            name, task = key
+            METRICS.inc("resilience.task_failures")
+            self.failures.append(
+                TaskFailure(
+                    benchmark=name,
+                    task=task,
+                    attempts=attempt,
+                    kind=kind,
+                    message=message,
+                )
+            )
+        else:
+            self._defer(key, attempt)
+
+    def _advance(self, key: Tuple[str, str], payload: tuple) -> None:
+        bitmap, state, delta, events, seconds = payload
+        lane = self.lanes[key]
+        prog = self.progress[key]
+        prog["parts"].append(bitmap)
+        prog["deltas"].append(delta)
+        prog["events"].extend(events)
+        prog["seconds"] += seconds
+        prog["state"] = state
+        prog["next"] += 1
+        if prog["next"] == len(lane["spans"]):
+            self.results[key] = (
+                np.concatenate(prog["parts"]),
+                prog["deltas"], prog["events"], prog["seconds"],
+            )
+        else:
+            self.ready.append((key, 1))
+
+    def run(self) -> None:
+        try:
+            while self.ready or self.waiting or self.active:
+                self._promote_waiting()
+                while self.ready and len(self.active) < self.jobs:
+                    key, attempt = self.ready.popleft()
+                    self._submit(key, attempt)
+                if not self.active:
+                    if self.waiting:
+                        next_at = min(entry[0] for entry in self.waiting)
+                        time.sleep(max(0.0, next_at - time.monotonic()))
+                    continue
+                done, _ = wait(
+                    list(self.active), timeout=_TICK,
+                    return_when=FIRST_COMPLETED,
+                )
+                self._collect(done)
+        except BaseException:
+            self.shutdown(kill=True)
+            raise
+        else:
+            self.shutdown()
+
+    def _promote_waiting(self) -> None:
+        if not self.waiting:
+            return
+        now = time.monotonic()
+        self.waiting.sort()
+        while self.waiting and self.waiting[0][0] <= now:
+            _, _, key, attempt = self.waiting.pop(0)
+            self.ready.append((key, attempt))
+
+    def _collect(self, done) -> None:
+        for future in done:
+            key, attempt = self.active.pop(future)
+            try:
+                payload = future.result()
+            except BrokenProcessPool as error:
+                self._on_pool_broken(key, attempt, error)
+                return
+            except Exception as error:
+                self._on_attempt_failure(
+                    key, attempt, "error", f"{type(error).__name__}: {error}"
+                )
+            else:
+                self._advance(key, payload)
+
+    def _on_pool_broken(self, key, attempt, error) -> None:
+        # Every in-flight chunk died with the pool; each lane's carried
+        # state is parent-side, so each is charged one attempt at its
+        # *current* chunk and resubmitted from exactly there.
+        victims = [(key, attempt)]
+        for future, (other_key, other_attempt) in self.active.items():
+            future.cancel()
+            victims.append((other_key, other_attempt))
+        self.active.clear()
+        self._rebuild_pool()
+        for victim_key, victim_attempt in victims:
+            self._on_attempt_failure(
+                victim_key, victim_attempt, "worker-lost",
+                f"worker pool broke: {error}",
+            )
+
+
+def _prime_chunked(
+    labs: Dict[str, Lab],
+    chunked: Sequence[Tuple[str, str]],
+    chunk_size: int,
+    jobs: int,
+    policy: RetryPolicy,
+    pool: Optional[WorkerPool],
+) -> Tuple[int, List[TaskFailure]]:
+    """Fold the chunkable lanes; returns ``(executed, failures)``.
+
+    ``jobs <= 1`` folds in-process over zero-copy windows; otherwise
+    each benchmark's columns are published to shared memory once and
+    the lanes run over the pool.  Either way the folded bitmaps are
+    bit-identical to the unchunked path, and the parent writes them
+    through each lab (and its cache) in deterministic lane order.
+    """
+    task_failures: List[TaskFailure] = []
+    executed = 0
+    if jobs <= 1:
+        for name, task in chunked:
+            lab = labs[name]
+            stream = TraceStream.from_trace(lab.trace, chunk_size)
+            try:
+                bitmap = chunked_bitmap(stream, lab.config, task)
+            except Exception as error:
+                METRICS.inc("resilience.task_failures")
+                task_failures.append(
+                    TaskFailure(
+                        benchmark=name, task=task, attempts=1, kind="error",
+                        message=f"{type(error).__name__}: {error}",
+                    )
+                )
+                continue
+            lab.store_correct(task, bitmap)
+            executed += 1
+        return executed, task_failures
+
+    from repro.analysis.shm import SharedTrace
+
+    shared: Dict[str, SharedTrace] = {}
+    try:
+        for name in sorted({name for name, _ in chunked}):
+            shared[name] = SharedTrace.create(labs[name].trace)
+        lanes = {
+            (name, task): {
+                "shm": shared[name].name,
+                "length": len(labs[name].trace),
+                "spans": chunk_spans(len(labs[name].trace), chunk_size),
+                "config": labs[name].config,
+            }
+            for name, task in chunked
+        }
+        scheduler = _ChunkScheduler(jobs, lanes, chunked, policy, pool)
+        scheduler.run()
+    finally:
+        for segment in shared.values():
+            segment.unlink()
+
+    # Deterministic fold: lane order, chunk order within each lane.
+    for key in chunked:
+        if key not in scheduler.results:
+            continue
+        bitmap, deltas, events, seconds = scheduler.results[key]
+        METRICS.inc("sim.chunked_simulations")
+        for delta in deltas:
+            METRICS.merge(delta)
+        METRICS.add_time("parallel.job_seconds", seconds)
+        TRACER.add_events(events)
+        name, task = key
+        labs[name].store_correct(task, bitmap)
+        executed += 1
+    return executed, scheduler.failures
+
+
 def prime_labs(
     labs: Dict[str, Lab],
     run_seed: int = 12345,
@@ -519,6 +822,7 @@ def prime_labs(
     injector: Optional[FaultInjector] = None,
     failures: Optional[list] = None,
     pool: Optional[WorkerPool] = None,
+    chunk_branches: Optional[int] = None,
 ) -> int:
     """Populate every lab's memos for ``tasks``, in parallel.
 
@@ -547,6 +851,14 @@ def prime_labs(
             When given it overrides ``jobs``, stays warm after the pass
             (the owner drains it), and is shared with every other run
             of the same session.
+        chunk_branches: If set, fold every chunkable task
+            (:data:`~repro.analysis.streamed.CHUNKABLE_TASKS`) over
+            fixed windows of this many branches -- in-process for
+            ``jobs <= 1``, else as shared-memory chunk lanes on the
+            pool -- instead of whole-trace jobs.  Results are
+            bit-identical either way.  Ignored for traces no longer
+            than one chunk, and (because injected faults target whole
+            task attempts) whenever ``injector`` is set.
 
     Returns:
         The number of jobs that executed successfully (0 means
@@ -578,60 +890,92 @@ def prime_labs(
     if not pending:
         return 0
 
-    if jobs <= 1:
+    chunked: List[Tuple[str, str]] = []
+    chunk_size = 0
+    if chunk_branches is not None and injector is None:
+        # Injected faults target whole (benchmark, task) attempts; the
+        # chunked path would change that accounting, so an injector
+        # forces every task through the unchunked scheduler.
+        chunk_size = normalize_chunk_branches(chunk_branches)
+        chunked = [
+            (name, task)
+            for name, task in pending
+            if task in CHUNKABLE_TASKS and len(labs[name].trace) > chunk_size
+        ]
+        if chunked:
+            chunked_keys = set(chunked)
+            pending = [key for key in pending if key not in chunked_keys]
+
+    executed = 0
+    all_failures: List[TaskFailure] = []
+
+    if chunked:
+        with span(
+            "prime_chunked", jobs=jobs, lanes=len(chunked),
+            chunk_branches=chunk_size,
+        ):
+            chunk_executed, chunk_failures = _prime_chunked(
+                labs, chunked, chunk_size, jobs, policy, pool
+            )
+        executed += chunk_executed
+        all_failures.extend(chunk_failures)
+
+    if pending and jobs <= 1:
         with span("prime_labs", jobs=1, pending=len(pending)):
-            executed, task_failures = _prime_serial_all(
+            serial_executed, task_failures = _prime_serial_all(
                 labs, pending, policy, injector
             )
-        METRICS.inc("parallel.jobs_executed", executed)
-        _report_failures(task_failures, failures)
-        return executed
-
-    cache_root = str(cache.root) if cache is not None else None
-    job_specs = {
-        (name, task): (
-            name,
-            len(labs[name].trace),
-            run_seed,
-            labs[name].config,
-            task,
-            cache_root,
-            labs[name].config.collection_window,
+        executed += serial_executed
+        all_failures.extend(task_failures)
+    elif pending:
+        cache_root = str(cache.root) if cache is not None else None
+        job_specs = {
+            (name, task): (
+                name,
+                len(labs[name].trace),
+                run_seed,
+                labs[name].config,
+                task,
+                cache_root,
+                labs[name].config.collection_window,
+            )
+            for name, task in pending
+        }
+        supervisor = _Supervisor(
+            jobs, job_specs, pending, policy, injector, pool=pool
         )
-        for name, task in pending
-    }
-    supervisor = _Supervisor(jobs, job_specs, pending, policy, injector, pool=pool)
-    with span("prime_labs", jobs=jobs, pending=len(pending)):
-        supervisor.run()
+        with span("prime_labs", jobs=jobs, pending=len(pending)):
+            supervisor.run()
 
-    # Fold in deterministic (sorted-name, task-order) order, verifying
-    # the worker simulated the same trace the lab holds.  Metric deltas
-    # and span events fold in the same order, so aggregate telemetry is
-    # independent of worker scheduling.
-    executed = 0
-    for name, task in pending:
-        if (name, task) not in supervisor.results:
-            continue  # failed after retries; recorded below
-        _, _, digest, result, delta, events, duration = supervisor.results[
-            (name, task)
-        ]
-        METRICS.merge(delta)
-        METRICS.add_time("parallel.job_seconds", duration)
-        TRACER.add_events(events)
-        lab = labs[name]
-        if digest != lab.trace.digest():
-            # Worker regenerated a different trace (ad-hoc lab): discard
-            # and let the lab compute lazily.
-            continue
-        # Workers already wrote the shared cache; skip the second write.
-        write_through = cache is None
-        if task == CORRELATION_TASK:
-            lab.store_correlation(result, write_through=write_through)
-        else:
-            lab.store_correct(task, result, write_through=write_through)
-        executed += 1
+        # Fold in deterministic (sorted-name, task-order) order,
+        # verifying the worker simulated the same trace the lab holds.
+        # Metric deltas and span events fold in the same order, so
+        # aggregate telemetry is independent of worker scheduling.
+        for name, task in pending:
+            if (name, task) not in supervisor.results:
+                continue  # failed after retries; recorded below
+            _, _, digest, result, delta, events, duration = supervisor.results[
+                (name, task)
+            ]
+            METRICS.merge(delta)
+            METRICS.add_time("parallel.job_seconds", duration)
+            TRACER.add_events(events)
+            lab = labs[name]
+            if digest != lab.trace.digest():
+                # Worker regenerated a different trace (ad-hoc lab):
+                # discard and let the lab compute lazily.
+                continue
+            # Workers already wrote the shared cache; skip the second
+            # write.
+            write_through = cache is None
+            if task == CORRELATION_TASK:
+                lab.store_correlation(result, write_through=write_through)
+            else:
+                lab.store_correct(task, result, write_through=write_through)
+            executed += 1
+        all_failures.extend(supervisor.failures)
     METRICS.inc("parallel.jobs_executed", executed)
-    _report_failures(supervisor.failures, failures)
+    _report_failures(all_failures, failures)
     return executed
 
 

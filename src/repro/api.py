@@ -413,6 +413,7 @@ def _run_point(
             tasks=sims,
             benchmarks=workload.benchmarks,
             pool=engine.pool,
+            chunk_branches=engine.options.chunk_branches,
         )
         build_seconds = time.perf_counter() - build_start
         total = sum(len(lab.trace) for lab in labs.values())
@@ -480,6 +481,7 @@ def _run_point(
         jobs=engine.jobs,
         cache_enabled=engine.cache is not None,
         cache_dir=str(engine.cache.root) if engine.cache is not None else None,
+        chunk_branches=engine.options.chunk_branches,
         labs=labs,
         results=results,
         experiment_timings=experiment_timings,

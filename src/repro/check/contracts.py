@@ -28,7 +28,11 @@ predict/update interleaving violation, PC008 nondeterministic replay,
 PC009 ``simulate()`` fast path diverges from the generic replay, PC010
 kernel-binding audit (:func:`check_kernel_bindings`): every exported
 ``simulate_*`` kernel must be bound to a registry spec so the PC009
-dynamic check exercises it.
+dynamic check exercises it, PC011 chunked-fold divergence
+(:func:`check_chunked_fold`): splitting a trace and chaining
+``simulate()`` over the windows must reproduce the whole-trace bitmap
+bit-for-bit at every split point -- the property the streaming trace
+path (:func:`repro.analysis.streamed.chunked_bitmap`) rests on.
 """
 
 from __future__ import annotations
@@ -383,6 +387,50 @@ def check_determinism(
     return None
 
 
+def check_chunked_fold(
+    factory: Callable[[], BranchPredictor],
+    trace: Trace,
+    reference: Optional[np.ndarray] = None,
+) -> Optional[str]:
+    """Chained window ``simulate()`` must equal the whole-trace run.
+
+    The streaming path folds kernels over fixed windows and relies on
+    every ``simulate()`` writing its carried state back, so resuming on
+    the next window is indistinguishable from never having stopped.
+    This replays a spread of split points -- first/last branch, an
+    uneven prime stride, and the midpoint -- and compares the
+    concatenated window bitmaps against the whole-trace bitmap.
+    Oracle/profile predictors are fitted once, on the full trace, in
+    both runs: fitting is a whole-run affair either way.
+
+    Returns a fault description, or None when every fold agrees.
+    """
+    n = len(trace)
+    if n < 2 or not getattr(factory(), "windowable", True):
+        return None
+    if reference is None:
+        reference = np.asarray(
+            _prepare(factory(), trace).simulate(trace), dtype=bool
+        )
+    splits = sorted({1, 7, n // 3, n // 2, n - 1} & set(range(1, n)))
+    for split in splits:
+        folded = _prepare(factory(), trace)
+        bitmap = np.concatenate([
+            np.asarray(folded.simulate(trace[:split]), dtype=bool),
+            np.asarray(folded.simulate(trace[split:]), dtype=bool),
+        ])
+        if not np.array_equal(bitmap, reference):
+            disagreements = int(np.sum(bitmap != reference))
+            return (
+                f"splitting the trace at branch {split} and chaining "
+                f"simulate() over the two windows changed "
+                f"{disagreements} of {n} predictions vs the whole-trace "
+                "run; simulate() must write carried state back so the "
+                "streaming fold can resume"
+            )
+    return None
+
+
 def run_contract_suite(
     factory: Callable[[], BranchPredictor],
     trace: Trace,
@@ -416,11 +464,12 @@ def run_contract_suite(
         diagnostics.append(Diagnostic(
             code="PC008", severity=ERROR, message=fault, location=location,
         ))
+    fast = None
     if reference is not None:
         # A predictor overriding simulate() (vectorised kernels, scalar
         # fast paths) must be bit-identical to the contract-checked
         # generic predict-then-update replay above.
-        fast = _prepare(factory(), trace).simulate(trace)
+        fast = np.asarray(_prepare(factory(), trace).simulate(trace), dtype=bool)
         if not np.array_equal(fast, reference):
             disagreements = int(np.sum(fast != reference))
             diagnostics.append(Diagnostic(
@@ -432,4 +481,11 @@ def run_contract_suite(
                 ),
                 location=location,
             ))
+            fast = None
+    chunk_fault = check_chunked_fold(factory, trace, reference=fast)
+    if chunk_fault is not None:
+        diagnostics.append(Diagnostic(
+            code="PC011", severity=ERROR, message=chunk_fault,
+            location=location,
+        ))
     return diagnostics

@@ -20,6 +20,13 @@ WS002  a ``lambda`` or nested function handed to pool submission
 WS003  iteration over a ``set``/``frozenset`` inside worker-reachable
        code: per-process hash seeding reorders it, so two workers can
        fold the same observations into different results.
+WS004  a whole :class:`~repro.trace.trace.Trace` handed to pool
+       submission -- a ``.trace`` attribute, or a local bound from
+       ``Trace(...)`` / ``load_benchmark(...)`` / ``read_trace(...)`` /
+       ``.whole()``: every submit re-pickles the full column arrays
+       into each worker.  Ship the spill file path or a
+       ``multiprocessing.shared_memory`` segment name instead (the
+       chunk scheduler's protocol).
 ====== =================================================================
 
 Reachability is computed statically from the AST: starting at the entry
@@ -83,6 +90,9 @@ _SUBMIT_METHODS = frozenset({
     "starmap", "starmap_async", "submit",
 })
 
+#: Calls whose result is a whole in-memory trace (WS004 tracking).
+_TRACE_FACTORIES = frozenset({"Trace", "load_benchmark", "read_trace"})
+
 
 def _mutable_module_globals(module: _Module) -> Dict[str, int]:
     """Module-level names bound to mutable container literals/calls."""
@@ -144,6 +154,8 @@ class _FunctionScan(ast.NodeVisitor):
         self._var_types: Dict[str, Tuple[Path, str]] = {}
         #: local names bound to set-typed values (WS003 tracking).
         self._set_vars: Set[str] = set()
+        #: local names bound to whole in-memory traces (WS004 tracking).
+        self._trace_vars: Set[str] = set()
         self._globals_declared: Set[str] = set()
 
     # -- reporting ---------------------------------------------------------
@@ -192,6 +204,19 @@ class _FunctionScan(ast.NodeVisitor):
             self._set_vars.add(target.id)
         elif target.id in self._set_vars:
             self._set_vars.discard(target.id)
+        if isinstance(value, ast.Call) and (
+            (
+                isinstance(value.func, ast.Name)
+                and value.func.id in _TRACE_FACTORIES
+            )
+            or (
+                isinstance(value.func, ast.Attribute)
+                and value.func.attr == "whole"
+            )
+        ):
+            self._trace_vars.add(target.id)
+        elif target.id in self._trace_vars:
+            self._trace_vars.discard(target.id)
 
     # -- WS001: module-global mutation -------------------------------------
 
@@ -272,6 +297,26 @@ class _FunctionScan(ast.NodeVisitor):
                     f".{node.func.attr}(): locally defined functions do "
                     "not pickle across the process pool; hoist it to "
                     "module level",
+                    arg,
+                )
+            elif isinstance(arg, ast.Attribute) and arg.attr == "trace":
+                self._report(
+                    "WS004",
+                    f"whole trace ('.{arg.attr}' attribute) passed to "
+                    f".{node.func.attr}(): every submit re-pickles the "
+                    "full column arrays into each worker; ship the "
+                    "spill path or a shared-memory segment name and "
+                    "window span instead",
+                    arg,
+                )
+            elif isinstance(arg, ast.Name) and arg.id in self._trace_vars:
+                self._report(
+                    "WS004",
+                    f"whole in-memory trace {arg.id!r} passed to "
+                    f".{node.func.attr}(): every submit re-pickles the "
+                    "full column arrays into each worker; ship the "
+                    "spill path or a shared-memory segment name and "
+                    "window span instead",
                     arg,
                 )
 
@@ -438,7 +483,7 @@ def analyze_worker_safety(
             if edge not in visited:
                 queue.append(edge)
 
-    # WS002 is a parent-side hazard (submission happens in the
+    # WS002/WS004 are parent-side hazards (submission happens in the
     # scheduler, not the workers), so scan every visited module's
     # remaining functions for bad submissions too.
     for path in sorted(scanned_modules):
@@ -456,6 +501,7 @@ def analyze_worker_safety(
             for statement in func.body:
                 scan.visit(statement)
             diagnostics.extend(
-                diag for diag in scan.diagnostics if diag.code == "WS002"
+                diag for diag in scan.diagnostics
+                if diag.code in ("WS002", "WS004")
             )
     return sort_diagnostics(diagnostics)

@@ -235,6 +235,8 @@ def _engine_overrides(spec, args):
         updates["journal"] = journal or None
     if getattr(args, "resume", False):
         updates["resume"] = True
+    if getattr(args, "chunk_branches", None) is not None:
+        updates["chunk_branches"] = args.chunk_branches
     if not updates:
         return spec
     return dataclasses.replace(
@@ -624,6 +626,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             fault_spec=fault_spec_from_args(args),
             journal_path=journal or None,
             resume=args.resume,
+            chunk_branches=args.chunk_branches,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -161,6 +161,7 @@ def build_labs(
     tasks: Optional[tuple] = None,
     benchmarks: Optional[tuple] = None,
     pool: Optional[Any] = None,
+    chunk_branches: Optional[int] = None,
 ) -> Dict[str, Lab]:
     """One :class:`Lab` per suite benchmark, sharing a configuration.
 
@@ -187,6 +188,9 @@ def build_labs(
             :data:`~repro.workloads.suite.BENCHMARK_NAMES`).
         pool: Session-owned :class:`repro.analysis.parallel.WorkerPool`
             the priming pass schedules onto (None = a per-pass pool).
+        chunk_branches: Streaming window for the chunkable simulation
+            tasks (see :func:`repro.analysis.parallel.prime_labs`);
+            None keeps the whole-trace path.
     """
     labs = {}
     with span("build_labs", run_seed=run_seed):
@@ -211,6 +215,7 @@ def build_labs(
                 injector=injector,
                 failures=failures,
                 pool=pool,
+                chunk_branches=chunk_branches,
             )
     return labs
 

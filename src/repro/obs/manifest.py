@@ -35,7 +35,12 @@ from typing import Any, Dict, List, Optional
 #: the run, or None for a direct run).  Execution provenance, not
 #: identity: it is deliberately excluded from the deterministic diff
 #: keys, so a served manifest still diffs clean against a direct one.
-MANIFEST_SCHEMA_VERSION = 4
+#: v5 added ``chunk_branches`` (the streaming window the priming pass
+#: folded simulations over, or None for whole-trace priming).  Like
+#: ``jobs``, it is an execution knob -- chunked results are
+#: bit-identical to whole-trace results by contract (PC011) -- so it
+#: too stays out of the deterministic diff keys.
+MANIFEST_SCHEMA_VERSION = 5
 
 #: Discriminator so readers can reject non-manifest JSON early.
 MANIFEST_KIND = "repro.run_manifest"
@@ -73,6 +78,7 @@ def build_manifest(
     jobs: int,
     cache_enabled: bool,
     cache_dir: Optional[str],
+    chunk_branches: Optional[int] = None,
     labs: Dict[str, Any],
     results: Dict[str, Any],
     experiment_timings: List[dict],
@@ -93,6 +99,8 @@ def build_manifest(
         jobs: Resolved worker count.
         cache_enabled: Whether the on-disk result cache was consulted.
         cache_dir: The cache root actually used (None when disabled).
+        chunk_branches: Streaming window the priming pass folded the
+            chunkable simulations over (None = whole-trace priming).
         labs: Benchmark name -> Lab (for trace digests and lengths).
         results: Experiment id -> ExperimentResult.
         experiment_timings: ``[{"id", "seconds"}, ...]`` in run order.
@@ -139,6 +147,9 @@ def build_manifest(
         "run_seed": int(run_seed),
         "max_length": None if max_length is None else int(max_length),
         "jobs": int(jobs),
+        "chunk_branches": (
+            None if chunk_branches is None else int(chunk_branches)
+        ),
         "spec_digest": spec_digest,
         "sweep": None if sweep is None else dict(sweep),
         "served_by": served_by,
@@ -195,6 +206,7 @@ _TOP_LEVEL_SPEC: Dict[str, tuple] = {
     "run_seed": (int,),
     "max_length": (int, type(None)),
     "jobs": (int,),
+    "chunk_branches": (int, type(None)),
     "spec_digest": (str, type(None)),
     "sweep": (dict, type(None)),
     "served_by": (str, type(None)),
@@ -385,6 +397,8 @@ def summarize_manifest(payload: dict) -> str:
         f"  jobs:        {payload.get('jobs')}",
         f"  config:      {payload.get('config_digest')}",
     ]
+    if payload.get("chunk_branches") is not None:
+        lines.append(f"  chunking:    {payload['chunk_branches']} branches/window")
     if payload.get("spec_digest"):
         lines.append(f"  spec:        {payload['spec_digest']}")
     if payload.get("served_by"):

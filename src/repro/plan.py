@@ -32,6 +32,19 @@ The executor (:func:`repro.api.run_spec`) consumes the plan per point:
 existing supervisor -- scheduling, caching, retries, fault injection,
 journaling -- runs exactly the planned work.  ``repro plan spec.json``
 prints :meth:`Plan.describe` without executing anything.
+
+When the spec's engine options set ``chunk_branches``, each *chunkable*
+sim task (:data:`repro.analysis.streamed.CHUNKABLE_TASKS`) over a trace
+longer than the window expands into per-chunk tasks
+(``p0/sim/gcc/gshare/c0`` .. ``c{K-1}``), each depending on its
+predecessor chunk -- the carried predictor state makes the fold
+sequential within a (benchmark, task) lane -- while distinct lanes stay
+independent, which is exactly the parallelism the chunk scheduler
+exploits.  Downstream experiment tasks depend on each lane's final
+chunk, the task whose completion materialises the whole-trace bitmap.
+Chunking is an execution knob, not identity: chunk task keys embed the
+window so cross-point dedup stays sound, but the artefact a full lane
+produces is bit-identical (PC011) to the unchunked task's.
 """
 
 from __future__ import annotations
@@ -72,6 +85,10 @@ class PlanTask:
         experiment_id: Experiment id (experiment tasks).
         deduped_from: Id of the earlier task this one shares its
             artefact with, or None if it is the first of its key.
+        chunk: Chunk index within a streamed sim lane (None for a
+            whole-trace sim task).
+        num_chunks: Total chunks in this task's lane (None when
+            unchunked).
     """
 
     id: str
@@ -83,6 +100,8 @@ class PlanTask:
     task: Optional[str] = None
     experiment_id: Optional[str] = None
     deduped_from: Optional[str] = None
+    chunk: Optional[int] = None
+    num_chunks: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -177,8 +196,10 @@ def build_plan(spec: RunSpec) -> Plan:
             could ever prime it).
     """
     from repro.analysis.parallel import DEFAULT_TASKS
+    from repro.analysis.streamed import CHUNKABLE_TASKS
     from repro.experiments.base import experiment_requires
-    from repro.workloads.suite import BENCHMARK_NAMES
+    from repro.trace.stream import chunk_spans, normalize_chunk_branches
+    from repro.workloads.suite import BENCHMARK_NAMES, scaled_length
 
     for experiment_id in spec.experiments:
         try:
@@ -200,6 +221,11 @@ def build_plan(spec: RunSpec) -> Plan:
         spec.workload.benchmarks
         if spec.workload.benchmarks is not None
         else tuple(BENCHMARK_NAMES)
+    )
+    chunk_branches = (
+        None
+        if spec.engine.chunk_branches is None
+        else normalize_chunk_branches(spec.engine.chunk_branches)
     )
     tasks: List[PlanTask] = []
     first_by_key: Dict[str, str] = {}
@@ -255,18 +281,56 @@ def build_plan(spec: RunSpec) -> Plan:
                     f"sim|{name}|{workload.max_length}|{workload.seed}"
                     f"|{task_config_key(task_name, point_spec.config)}"
                 )
-                task = add(
-                    PlanTask(
-                        id=f"{prefix}/sim/{name}/{task_name}",
-                        kind="sim",
-                        point=index,
-                        key=sim_key,
-                        deps=(trace_ids[name],),
-                        benchmark=name,
-                        task=task_name,
-                    )
+                length = scaled_length(name, workload.max_length)
+                spans = (
+                    chunk_spans(length, chunk_branches)
+                    if chunk_branches is not None
+                    and task_name in CHUNKABLE_TASKS
+                    and length > chunk_branches
+                    else []
                 )
-                sim_ids.append(task.id)
+                if len(spans) > 1:
+                    # One task per window, chained: chunk k resumes from
+                    # the carried state chunk k-1 wrote back.  The lane's
+                    # final chunk is the artefact downstream tasks need.
+                    previous = trace_ids[name]
+                    for chunk_index in range(len(spans)):
+                        task = add(
+                            PlanTask(
+                                id=(
+                                    f"{prefix}/sim/{name}/{task_name}"
+                                    f"/c{chunk_index}"
+                                ),
+                                kind="sim",
+                                point=index,
+                                key=(
+                                    f"{sim_key}|chunk={chunk_index}"
+                                    f"/{len(spans)}@{chunk_branches}"
+                                ),
+                                deps=(trace_ids[name], previous)
+                                if chunk_index
+                                else (trace_ids[name],),
+                                benchmark=name,
+                                task=task_name,
+                                chunk=chunk_index,
+                                num_chunks=len(spans),
+                            )
+                        )
+                        previous = task.id
+                    sim_ids.append(previous)
+                else:
+                    task = add(
+                        PlanTask(
+                            id=f"{prefix}/sim/{name}/{task_name}",
+                            kind="sim",
+                            point=index,
+                            key=sim_key,
+                            deps=(trace_ids[name],),
+                            benchmark=name,
+                            task=task_name,
+                        )
+                    )
+                    sim_ids.append(task.id)
 
         experiment_ids = []
         for experiment_id in point_spec.experiments:
@@ -304,5 +368,13 @@ def build_plan(spec: RunSpec) -> Plan:
 
 
 def tasks_by_id_task(task_id: str) -> str:
-    """The simulation task name embedded in a sim task id."""
-    return task_id.rsplit("/", 1)[-1]
+    """The simulation task name embedded in a sim task id.
+
+    Chunk tasks (``.../gshare/c3``) report their lane's task name, not
+    the chunk segment.
+    """
+    parts = task_id.rsplit("/", 2)
+    last = parts[-1]
+    if len(parts) > 1 and len(last) > 1 and last[0] == "c" and last[1:].isdigit():
+        return parts[-2]
+    return last

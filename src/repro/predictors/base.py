@@ -21,6 +21,15 @@ class BranchPredictor(abc.ABC):
     #: Human-readable predictor name used in experiment reports.
     name: str = "predictor"
 
+    #: Whether chained ``simulate()`` calls over consecutive trace
+    #: windows reproduce the whole-trace bitmap (the streaming-fold
+    #: property PC011 enforces).  True for every causal predictor --
+    #: the generic loop and the vectorised kernels carry their state
+    #: across calls.  Predictors whose ``simulate()`` is an oracle
+    #: replay bound to one fitted whole trace set this False to opt
+    #: out of window folding.
+    windowable: bool = True
+
     @abc.abstractmethod
     def predict(self, pc: int, target: int) -> bool:
         """Predict the direction of the branch at ``pc``.

@@ -57,6 +57,9 @@ class SelectiveHistoryPredictor(BranchPredictor):
     """
 
     name = "selective"
+    #: simulate() replays the per-run oracle selections and refuses any
+    #: trace but the fitted one, so the streaming fold cannot apply.
+    windowable = False
 
     def __init__(
         self,

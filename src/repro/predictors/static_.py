@@ -107,6 +107,11 @@ class IdealStaticPredictor(BranchPredictor):
     """
 
     name = "ideal-static"
+    #: simulate() re-profiles on whatever trace it is handed, so a
+    #: window fold would use per-window majorities instead of the
+    #: whole-run majority the paper defines.  The streaming path uses
+    #: the dedicated count fold in ``repro.analysis.streamed`` instead.
+    windowable = False
 
     def __init__(self) -> None:
         self._profile: Optional[Dict[int, bool]] = None

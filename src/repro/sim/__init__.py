@@ -24,6 +24,7 @@ fast path can ship without the PC009 dynamic equivalence check covering
 it.
 """
 
+from repro.sim.fold import fold_correct_count, fold_simulate
 from repro.sim.kernels import (
     simulate_bimodal,
     simulate_block_pattern,
@@ -59,6 +60,8 @@ KERNEL_BINDINGS = {
 
 __all__ = [
     "KERNEL_BINDINGS",
+    "fold_correct_count",
+    "fold_simulate",
     "simulate_bimodal",
     "simulate_block_pattern",
     "simulate_fixed_pattern",

@@ -154,10 +154,11 @@ class EngineOptions:
     fault_spec: Optional[str] = None
     journal: Optional[str] = None
     resume: bool = False
+    chunk_branches: Optional[int] = None
 
     _FIELDS = (
         "jobs", "cache", "cache_dir", "retries", "task_timeout",
-        "fault_spec", "journal", "resume",
+        "fault_spec", "journal", "resume", "chunk_branches",
     )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -187,7 +188,9 @@ class EngineOptions:
         * ``retries``/``task_timeout`` -- ``REPRO_MAX_RETRIES`` /
           ``REPRO_TASK_TIMEOUT``, else unset (the retry policy's own
           defaults apply);
-        * ``fault_spec`` -- ``REPRO_FAULT_SPEC``, else unset.
+        * ``fault_spec`` -- ``REPRO_FAULT_SPEC``, else unset;
+        * ``chunk_branches`` -- ``REPRO_CHUNK_BRANCHES``, else unset
+          (whole-trace priming; set = streamed chunk window).
 
         Raises:
             SpecError: On an unknown override name.
@@ -208,6 +211,7 @@ class EngineOptions:
         from repro.analysis.parallel import resolve_jobs
         from repro.resilience.faults import ENV_FAULT_SPEC
         from repro.resilience.retry import ENV_MAX_RETRIES, ENV_TASK_TIMEOUT
+        from repro.trace.stream import ENV_CHUNK_BRANCHES, normalize_chunk_branches
 
         updates: Dict[str, Any] = {}
         updates["jobs"] = resolve_jobs(
@@ -233,6 +237,19 @@ class EngineOptions:
             env_spec = os.environ.get(ENV_FAULT_SPEC)
             if env_spec:
                 updates["fault_spec"] = env_spec
+        chunk = self.chunk_branches
+        if chunk is None:
+            text = os.environ.get(ENV_CHUNK_BRANCHES)
+            if text:
+                try:
+                    chunk = int(text)
+                except ValueError:
+                    chunk = None
+        if chunk is not None:
+            try:
+                updates["chunk_branches"] = normalize_chunk_branches(int(chunk))
+            except (TypeError, ValueError) as error:
+                raise SpecError(f"engine.chunk_branches: {error}") from None
         return replace(self, **updates)
 
 
@@ -509,6 +526,7 @@ def spec_from_kwargs(
     fault_spec: Optional[str] = None,
     journal_path: Optional[str] = None,
     resume: bool = False,
+    chunk_branches: Optional[int] = None,
 ) -> RunSpec:
     """The keyword surface, folded into a spec.
 
@@ -535,5 +553,8 @@ def spec_from_kwargs(
             fault_spec=fault_spec,
             journal=journal_path,
             resume=resume,
+            chunk_branches=(
+                None if chunk_branches is None else int(chunk_branches)
+            ),
         ),
     )

@@ -56,10 +56,16 @@ class _TraceComplete(Exception):
 
 
 class _Emitter:
-    """Collects emitted branches and stops execution at the target length."""
+    """Collects emitted branches and stops execution at the target length.
 
-    def __init__(self, target_length: int) -> None:
-        self.builder = TraceBuilder()
+    ``builder`` is anything with ``append(pc, target, taken)`` and
+    ``__len__``: the default whole-trace :class:`TraceBuilder`, or a
+    :class:`~repro.trace.trace.ChunkedTraceBuilder` when the caller
+    streams windows out instead of materialising the run.
+    """
+
+    def __init__(self, target_length: int, builder=None) -> None:
+        self.builder = TraceBuilder() if builder is None else builder
         self._target = target_length
 
     def emit(self, pc: int, target: int, taken: bool) -> None:
@@ -322,3 +328,33 @@ def execute_program(program: Program, num_branches: int, seed: int) -> Trace:
     except _TraceComplete:
         pass
     return emitter.builder.build()
+
+
+def stream_program(
+    program: Program,
+    num_branches: int,
+    seed: int,
+    sink,
+    chunk_branches: int,
+) -> int:
+    """Run ``program`` like :func:`execute_program`, streaming windows out.
+
+    Identical interpretation (same seed, same records, same cut point),
+    but branches are flushed to ``sink(pc, target, taken)`` in
+    ``chunk_branches``-sized windows instead of accumulating in memory
+    -- peak residency is one window regardless of ``num_branches``.
+    Returns the number of branches emitted (== ``num_branches``).
+    """
+    from repro.trace.trace import ChunkedTraceBuilder
+
+    if num_branches < 1:
+        raise ValueError(f"num_branches must be >= 1, got {num_branches}")
+    env = Environment(random.Random(seed))
+    emitter = _Emitter(num_branches, builder=ChunkedTraceBuilder(sink, chunk_branches))
+    main_body = program.procedure(program.main).body
+    try:
+        while True:
+            main_body.execute(env, emitter, program)
+    except _TraceComplete:
+        pass
+    return emitter.builder.finish()

@@ -371,3 +371,49 @@ def load_suite(
         name: load_benchmark(name, scaled_length(name, max_length), run_seed)
         for name in BENCHMARK_NAMES
     }
+
+
+def stream_benchmark(
+    name: str,
+    path,
+    length: Optional[int] = None,
+    run_seed: int = 12345,
+    chunk_branches: Optional[int] = None,
+) -> int:
+    """Generate one benchmark straight to a chunked ``.bpt`` file.
+
+    The paper-scale entry point: interpretation streams windows through
+    a :class:`~repro.trace.stream.BPT2Writer`, so neither the generator
+    nor the file writer ever holds more than one window -- a 10M-branch
+    spill peaks at the same residency as a 2M one.  The file read back
+    via :class:`~repro.trace.stream.TraceStream` replays the identical
+    records ``load_benchmark`` would return (same program, same seed).
+
+    Returns the number of branches written.
+    """
+    from repro.check.ir import verify_program_or_raise
+    from repro.obs.metrics import METRICS
+    from repro.obs.tracing import span
+    from repro.trace.stream import BPT2Writer, normalize_chunk_branches
+
+    spec = benchmark_spec(name, length, run_seed)
+    chunk = normalize_chunk_branches(chunk_branches)
+    from repro.workloads.program import stream_program
+
+    with span(
+        "stream_trace",
+        benchmark=name,
+        length=spec.length,
+        run_seed=run_seed,
+        chunk_branches=chunk,
+    ), METRICS.timer("trace.generate_seconds"):
+        program = build_program(spec.profile)
+        verify_program_or_raise(program, name=spec.name)
+        METRICS.inc("check.ir_verifications")
+        with BPT2Writer(path, chunk_branches=chunk) as writer:
+            written = stream_program(
+                program, spec.length, spec.run_seed, writer.append_chunk, chunk
+            )
+    METRICS.inc("trace.generated")
+    METRICS.inc("trace.events", written)
+    return written

@@ -1,6 +1,6 @@
 """Seeded-defect worker module for the ``workers`` pass.
 
-A miniature parallel scheduler with all three worker-safety hazards
+A miniature parallel scheduler with all four worker-safety hazards
 planted.  Never imported -- analysed as AST only.  Tests and the CI
 negative gate assert each hazard produces its exact WS code.
 """
@@ -43,6 +43,14 @@ def submit_all(pool, specs):
 
     futures = [pool.submit(lambda: compute_task(spec)) for spec in specs]
     futures.append(pool.submit(_local_job, specs[0]))
+    return futures
+
+
+def submit_whole_trace(pool, lab, read_trace, path):
+    """WS004: whole traces re-pickled into every pool submission."""
+    loaded = read_trace(path)
+    futures = [pool.submit(compute_task, lab.trace)]
+    futures.append(pool.submit(compute_task, loaded))
     return futures
 
 

@@ -58,7 +58,7 @@ class TestNewPasses:
         assert check_cli.main(DEFECT_ARGS) == 1
         out = capsys.readouterr().out
         for code in ("DS001", "DS002", "DS003", "DS004", "DS005",
-                     "WS001", "WS002", "WS003"):
+                     "WS001", "WS002", "WS003", "WS004"):
             assert code in out
 
 
@@ -68,7 +68,7 @@ class TestJsonFormat:
         out = capsys.readouterr().out
         document = json.loads(out)  # progress lines suppressed
         assert document["passes"] == ["deps", "workers"]
-        assert document["errors"] == 10
+        assert document["errors"] == 12
         assert document["warnings"] == 2
         record = document["diagnostics"][0]
         assert set(record) == {

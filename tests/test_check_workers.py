@@ -39,7 +39,8 @@ class TestSeededWorkerDefects:
 
     def test_exact_code_multiset(self, diagnostics):
         assert sorted(codes(diagnostics)) == [
-            "WS001", "WS001", "WS001", "WS002", "WS002", "WS003"
+            "WS001", "WS001", "WS001", "WS002", "WS002", "WS003",
+            "WS004", "WS004",
         ]
 
     def test_all_findings_are_errors(self, diagnostics):
@@ -62,10 +63,16 @@ class TestSeededWorkerDefects:
         assert "set" in finding.message
         assert finding.location.endswith(":22")
 
+    def test_ws004_flags_whole_trace_submissions(self, diagnostics):
+        messages = [diag.message for diag in by_code(diagnostics, "WS004")]
+        assert any("'.trace'" in m for m in messages)
+        assert any("'loaded'" in m for m in messages)
+        assert all("shared-memory" in m for m in messages)
+
     def test_clean_fold_stays_silent(self, diagnostics):
         # fold_clean's sorted() iteration must not fire WS003.
         assert not any(
-            diag.location.endswith(":49") for diag in diagnostics
+            diag.location.endswith(":59") for diag in diagnostics
         )
 
 

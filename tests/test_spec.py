@@ -105,6 +105,41 @@ class TestStrictParsing:
             RunSpec.from_dict({"workload": {"max_length": -3}})
 
 
+class TestChunkBranches:
+    def test_kwargs_surface_carries_it(self):
+        spec = spec_from_kwargs(["fig9"], chunk_branches=4096)
+        assert spec.engine.chunk_branches == 4096
+
+    def test_round_trips_through_json(self):
+        spec = small_spec(engine=EngineOptions(chunk_branches=4096))
+        assert RunSpec.from_json(spec.to_json()).engine.chunk_branches == 4096
+
+    def test_execution_knob_does_not_change_identity(self):
+        base = small_spec()
+        chunked = dataclasses.replace(
+            base, engine=EngineOptions(chunk_branches=4096)
+        )
+        assert base.digest() == chunked.digest()
+        assert base.input_digest() == chunked.input_digest()
+
+    def test_resolved_normalizes_to_a_multiple_of_eight(self):
+        assert EngineOptions(chunk_branches=100).resolved().chunk_branches == 104
+
+    def test_resolved_reads_the_environment_when_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK_BRANCHES", "1000")
+        assert EngineOptions().resolved().chunk_branches == 1000
+        monkeypatch.delenv("REPRO_CHUNK_BRANCHES")
+        assert EngineOptions().resolved().chunk_branches is None
+
+    def test_explicit_value_wins_over_the_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK_BRANCHES", "1000")
+        assert EngineOptions(chunk_branches=64).resolved().chunk_branches == 64
+
+    def test_invalid_value_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="engine.chunk_branches"):
+            EngineOptions(chunk_branches=0).resolved()
+
+
 class TestDigest:
     def test_engine_options_do_not_change_digest(self):
         base = small_spec()

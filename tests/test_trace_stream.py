@@ -1,10 +1,21 @@
-"""Tests for the .bpt binary trace format."""
+"""Tests for the .bpt binary trace formats (BPT1 and chunked BPT2)."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.trace.stream import MAGIC, TraceFormatError, read_trace, write_trace
+from repro.trace.stream import (
+    BPT2Writer,
+    HEADER2_SIZE,
+    MAGIC,
+    MAGIC2,
+    TraceFormatError,
+    TraceStream,
+    normalize_chunk_branches,
+    read_trace,
+    write_trace,
+    write_trace_chunked,
+)
 from repro.trace.trace import Trace
 
 from conftest import trace_from_steps, trace_from_string
@@ -95,6 +106,174 @@ def test_property_round_trip_preserves_trace(tmp_path_factory, steps):
     path = tmp_path_factory.mktemp("bpt") / "prop.bpt"
     write_trace(trace, path)
     assert read_trace(path) == trace
+
+
+class TestChunkSizeNormalization:
+    def test_none_is_the_default_window(self):
+        from repro.trace.stream import DEFAULT_CHUNK_BRANCHES
+
+        assert normalize_chunk_branches(None) == DEFAULT_CHUNK_BRANCHES
+
+    def test_rounds_up_to_a_multiple_of_eight(self):
+        assert normalize_chunk_branches(1) == 8
+        assert normalize_chunk_branches(8) == 8
+        assert normalize_chunk_branches(13) == 16
+        assert normalize_chunk_branches(65536) == 65536
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="chunk_branches"):
+            normalize_chunk_branches(0)
+        with pytest.raises(ValueError, match="chunk_branches"):
+            normalize_chunk_branches(-4)
+
+
+class TestBPT2RoundTrip:
+    @pytest.fixture()
+    def trace(self):
+        rng = np.random.default_rng(3)
+        n = 1000
+        pcs = rng.integers(0, 64, n).astype(np.uint64) * np.uint64(4)
+        return Trace(pcs, pcs + np.uint64(0x40), rng.random(n) < 0.6)
+
+    def test_round_trip_multi_chunk(self, tmp_path, trace):
+        path = tmp_path / "t2.bpt"
+        write_trace_chunked(trace, path, chunk_branches=104)
+        assert path.read_bytes()[:4] == MAGIC2
+        assert read_trace(path) == trace
+
+    def test_stream_chunks_tile_the_trace(self, tmp_path, trace):
+        path = tmp_path / "t2.bpt"
+        write_trace_chunked(trace, path, chunk_branches=104)
+        stream = TraceStream.open(path)
+        assert len(stream) == len(trace)
+        assert stream.chunk_branches == 104
+        assert stream.num_chunks == 10
+        assert stream.spans()[0] == (0, 104)
+        assert stream.spans()[-1] == (936, 1000)
+        rebuilt = stream.whole()
+        assert rebuilt == trace
+
+    def test_chunk_random_access(self, tmp_path, trace):
+        path = tmp_path / "t2.bpt"
+        write_trace_chunked(trace, path, chunk_branches=104)
+        stream = TraceStream.open(path)
+        assert stream.chunk(3) == trace[312:416]
+        with pytest.raises(IndexError, match="out of range"):
+            stream.chunk(10)
+
+    def test_streaming_digest_matches_whole_trace_digest(
+        self, tmp_path, trace
+    ):
+        path = tmp_path / "t2.bpt"
+        write_trace_chunked(trace, path, chunk_branches=104)
+        assert TraceStream.open(path).digest() == trace.digest()
+        assert TraceStream.from_trace(trace, 104).digest() == trace.digest()
+
+    def test_bpt1_stream_digest_matches_too(self, tmp_path, trace):
+        path = tmp_path / "t1.bpt"
+        write_trace(trace, path)
+        stream = TraceStream.open(path, chunk_branches=104)
+        assert stream.digest() == trace.digest()
+        assert stream.whole() == trace
+
+    def test_single_short_chunk(self, tmp_path):
+        trace = trace_from_string("TNTNT")
+        path = tmp_path / "short.bpt"
+        write_trace_chunked(trace, path, chunk_branches=64)
+        stream = TraceStream.open(path)
+        assert stream.num_chunks == 1
+        assert stream.whole() == trace
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty2.bpt"
+        write_trace_chunked(Trace.empty(), path)
+        stream = TraceStream.open(path)
+        assert stream.num_chunks == 0
+        assert len(stream.whole()) == 0
+        assert len(read_trace(path)) == 0
+
+
+class TestBPT2Writer:
+    def test_rejects_mismatched_columns(self, tmp_path):
+        with BPT2Writer(tmp_path / "w.bpt", 8) as writer:
+            with pytest.raises(ValueError, match="equal length"):
+                writer.append_chunk([1, 2], [3, 4], [True])
+            writer.append_chunk([1], [2], [True])
+
+    def test_rejects_oversized_and_empty_chunks(self, tmp_path):
+        with BPT2Writer(tmp_path / "w.bpt", 8) as writer:
+            with pytest.raises(ValueError, match="outside"):
+                writer.append_chunk([0] * 9, [0] * 9, [False] * 9)
+            with pytest.raises(ValueError, match="outside"):
+                writer.append_chunk([], [], [])
+            writer.append_chunk([1], [2], [True])
+
+    def test_only_the_final_chunk_may_be_short(self, tmp_path):
+        writer = BPT2Writer(tmp_path / "w.bpt", 8)
+        writer.append_chunk([0] * 4, [0] * 4, [False] * 4)  # short: final
+        with pytest.raises(ValueError, match="final chunk"):
+            writer.append_chunk([0] * 8, [0] * 8, [False] * 8)
+        writer.close()
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = BPT2Writer(tmp_path / "w.bpt", 8)
+        writer.append_chunk([1], [2], [True])
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            writer.append_chunk([1], [2], [True])
+
+
+class TestMalformedBPT2:
+    def _valid_file(self, tmp_path):
+        trace = trace_from_string("TN" * 10)  # 20 branches, 3 chunks of 8
+        path = tmp_path / "m2.bpt"
+        write_trace_chunked(trace, path, chunk_branches=8)
+        return path
+
+    def _patch(self, path, offset, value):
+        data = bytearray(path.read_bytes())
+        data[offset : offset + 8] = int(value).to_bytes(8, "little")
+        path.write_bytes(bytes(data))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "h.bpt"
+        path.write_bytes(MAGIC2 + b"\x00" * (HEADER2_SIZE - 8))
+        with pytest.raises(TraceFormatError, match="truncated header"):
+            TraceStream.open(path)
+
+    def test_unaligned_chunk_size_rejected(self, tmp_path):
+        path = self._valid_file(tmp_path)
+        self._patch(path, 16, 12)  # chunk_branches field
+        with pytest.raises(TraceFormatError, match="multiple of 8"):
+            TraceStream.open(path)
+
+    def test_chunk_count_mismatch_rejected(self, tmp_path):
+        path = self._valid_file(tmp_path)
+        self._patch(path, 24, 7)  # num_chunks field
+        with pytest.raises(TraceFormatError, match="chunks indexed"):
+            TraceStream.open(path)
+
+    def test_truncated_index_rejected(self, tmp_path):
+        path = self._valid_file(tmp_path)
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(TraceFormatError, match="truncated chunk index"):
+            TraceStream.open(path)
+
+    def test_overrunning_chunk_offset_rejected(self, tmp_path):
+        path = self._valid_file(tmp_path)
+        index_offset = int.from_bytes(
+            path.read_bytes()[32:40], "little"
+        )
+        self._patch(path, index_offset, 0)  # first chunk's offset
+        with pytest.raises(TraceFormatError, match="overruns"):
+            TraceStream.open(path)
+
+    def test_unknown_magic_rejected(self, tmp_path):
+        path = tmp_path / "x.bpt"
+        path.write_bytes(b"BPT9" + b"\x00" * 64)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            TraceStream.open(path)
 
 
 class TestTextFormat:
