@@ -1,0 +1,49 @@
+"""Measure foreign-trace ingestion over the committed profile portfolio.
+
+``benchmarks/profiles/`` holds five curated CBP-style text traces in
+increasing prediction difficulty -- a steady branch, loop exits,
+periodic patterns, leader/follower correlation, and noise.  Each
+benchmark ingests one profile through the full text -> BPT2 pipeline
+(parse, validate, re-chunk, spill, digest), so the timing tracks the
+importer's end-to-end cost; the asserted digests pin the parser's
+output bit-for-bit against drift.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.trace.ingest import ingest_file
+
+from conftest import save_result
+
+PROFILES_DIR = Path(__file__).parent / "profiles"
+
+#: profile -> (canonical trace digest, dynamic branch count).
+PROFILE_IDENTITIES = {
+    "p1_steady": ("479d5ba6187549e74a4adba4412490ed", 4000),
+    "p2_loop": ("45ce7327f9c0a15275d342fe53d34f2e", 4000),
+    "p3_pattern": ("fae711bee56b8fcdd11379f489719fde", 4000),
+    "p4_correlated": ("e6ff41aa3ee846a7b5262714ff6e04de", 4000),
+    "p5_noisy": ("c7240cb91a10808829339994c45ee2d3", 4000),
+}
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILE_IDENTITIES))
+def test_bench_ingest(profile, benchmark, results_dir, tmp_path):
+    source = PROFILES_DIR / f"{profile}.txt"
+    result = benchmark.pedantic(
+        ingest_file,
+        args=(source, tmp_path / f"{profile}.bpt"),
+        rounds=1,
+        iterations=1,
+    )
+    digest, branches = PROFILE_IDENTITIES[profile]
+    assert result.digest == digest
+    assert result.branches == branches
+    save_result(
+        results_dir,
+        f"ingest_{profile}",
+        f"{profile}: {result.branches} branches -> {result.path}\n"
+        f"digest {result.digest}",
+    )

@@ -294,21 +294,42 @@ class ResultCache:
 
     # -- generated benchmark traces ---------------------------------------
 
-    def trace_key(self, name: str, length: Optional[int], run_seed: int) -> str:
-        return self._digest(
+    def trace_key(
+        self,
+        name: str,
+        length: Optional[int],
+        run_seed: int,
+        variant: str = "",
+    ) -> str:
+        """Cache key of one generated trace.
+
+        ``variant`` is the source-identity suffix (a canonical mix
+        signature); ``""`` -- the default, and every pre-source caller
+        -- appends nothing, so legacy entries keep their keys.
+        """
+        parts = [
             "trace",
             str(SCHEMA_VERSION),
             str(WORKLOAD_SCHEMA),
             name,
             str(length),
             str(run_seed),
-        )
+        ]
+        if variant:
+            parts.append(variant)
+        return self._digest(*parts)
 
     def load_trace(
-        self, name: str, length: Optional[int], run_seed: int
+        self,
+        name: str,
+        length: Optional[int],
+        run_seed: int,
+        variant: str = "",
     ) -> Optional[Trace]:
         """A cached generated benchmark trace, or None on miss."""
-        path = self._path("trace", self.trace_key(name, length, run_seed))
+        path = self._path(
+            "trace", self.trace_key(name, length, run_seed, variant)
+        )
         payload = self._load(path, "trace")
         if payload is None:
             return None
@@ -326,10 +347,17 @@ class ResultCache:
         return trace
 
     def store_trace(
-        self, name: str, length: Optional[int], run_seed: int, trace: Trace
+        self,
+        name: str,
+        length: Optional[int],
+        run_seed: int,
+        trace: Trace,
+        variant: str = "",
     ) -> None:
         self._store(
-            self._path("trace", self.trace_key(name, length, run_seed)),
+            self._path(
+                "trace", self.trace_key(name, length, run_seed, variant)
+            ),
             "trace",
             pc=trace.pc,
             target=trace.target,

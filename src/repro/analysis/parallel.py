@@ -203,9 +203,8 @@ def _run_task(job: tuple):
     """
     (
         name, length, run_seed, config, task, cache_root, _window,
-        fault_kinds,
+        source, fault_kinds,
     ) = job
-    from repro.workloads.suite import load_benchmark
 
     if "crash" in fault_kinds:
         raise InjectedCrash(f"injected crash: {name}/{task}")
@@ -217,11 +216,7 @@ def _run_task(job: tuple):
     start = time.perf_counter()
     with span("job", benchmark=name, task=task):
         cache = ResultCache(cache_root) if cache_root is not None else None
-        trace = cache.load_trace(name, length, run_seed) if cache else None
-        if trace is None:
-            trace = load_benchmark(name, length, run_seed)
-            if cache is not None:
-                cache.store_trace(name, length, run_seed, trace)
+        trace = _worker_trace(name, length, run_seed, source, cache)
         digest = trace.digest()
         result = compute_task(trace, config, task)
         if cache is not None:
@@ -236,6 +231,44 @@ def _run_task(job: tuple):
         name, task, digest, result,
         METRICS.snapshot(), TRACER.chrome_events(), duration,
     )
+
+
+def _worker_trace(
+    name: str,
+    length: int,
+    run_seed: int,
+    source: Optional[tuple],
+    cache: Optional[ResultCache],
+) -> Trace:
+    """Materialise one job's trace from its source descriptor.
+
+    ``source`` is the picklable per-benchmark descriptor
+    :func:`prime_labs` ships: ``None`` (the legacy suite trace),
+    ``("synthetic", mix_items)`` (a mix-scaled suite trace, cached under
+    its mix-signature variant key), or ``("imported", path, format,
+    digest)`` (a foreign file, digest-verified on load).
+    """
+    if source is not None and source[0] == "imported":
+        from repro.trace.ingest import load_imported_trace
+
+        _, path, fmt, expected = source
+        return load_imported_trace(
+            path, format=fmt, expected_digest=expected
+        )
+    from repro.workloads.suite import load_benchmark, mix_items_signature
+
+    mix_items = source[1] if source is not None else ()
+    variant = mix_items_signature(mix_items)
+    trace = (
+        cache.load_trace(name, length, run_seed, variant=variant)
+        if cache
+        else None
+    )
+    if trace is None:
+        trace = load_benchmark(name, length, run_seed, mix=dict(mix_items))
+        if cache is not None:
+            cache.store_trace(name, length, run_seed, trace, variant=variant)
+    return trace
 
 
 def _run_chunk(job: tuple):
@@ -823,6 +856,7 @@ def prime_labs(
     failures: Optional[list] = None,
     pool: Optional[WorkerPool] = None,
     chunk_branches: Optional[int] = None,
+    sources: Optional[Dict[str, tuple]] = None,
 ) -> int:
     """Populate every lab's memos for ``tasks``, in parallel.
 
@@ -859,6 +893,11 @@ def prime_labs(
             bit-identical either way.  Ignored for traces no longer
             than one chunk, and (because injected faults target whole
             task attempts) whenever ``injector`` is set.
+        sources: Per-benchmark trace-source descriptors workers use to
+            rematerialise job traces (see :func:`_worker_trace`); None
+            (or an absent name) means the legacy suite trace.  The
+            chunked path ignores this -- its windows ship from the
+            parent's columns over shared memory.
 
     Returns:
         The number of jobs that executed successfully (0 means
@@ -938,6 +977,7 @@ def prime_labs(
                 task,
                 cache_root,
                 labs[name].config.collection_window,
+                sources.get(name) if sources is not None else None,
             )
             for name, task in pending
         }

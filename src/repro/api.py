@@ -82,7 +82,16 @@ from repro.plan import Plan, build_plan
 from repro.resilience.faults import FaultInjector
 from repro.resilience.journal import RunJournal, spec_run_key
 from repro.resilience.retry import RetryPolicy
-from repro.spec import EngineOptions, RunSpec, SweepSpec, WorkloadSpec, spec_from_kwargs
+from repro.spec import (
+    EngineOptions,
+    ImportedSource,
+    RunSpec,
+    SweepSpec,
+    SyntheticSource,
+    TraceEntry,
+    WorkloadSpec,
+    spec_from_kwargs,
+)
 from repro.trace.trace import Trace
 from repro.workloads.suite import load_suite
 
@@ -97,6 +106,7 @@ __all__ = [
     "EngineError",
     "EngineOptions",
     "EngineSession",
+    "ImportedSource",
     "Lab",
     "LabConfig",
     "Plan",
@@ -108,6 +118,8 @@ __all__ = [
     "SpecError",
     "SweepRun",
     "SweepSpec",
+    "SyntheticSource",
+    "TraceEntry",
     "UnknownExperimentError",
     "WorkloadSpec",
     "build_labs",
@@ -411,9 +423,10 @@ def _run_point(
             injector=engine.injector,
             failures=failures,
             tasks=sims,
-            benchmarks=workload.benchmarks,
+            benchmarks=getattr(workload, "benchmarks", None),
             pool=engine.pool,
             chunk_branches=engine.options.chunk_branches,
+            source=workload,
         )
         build_seconds = time.perf_counter() - build_start
         total = sum(len(lab.trace) for lab in labs.values())
@@ -501,6 +514,7 @@ def _run_point(
         spec_digest=point_spec.digest(),
         sweep=dict(coords) if coords else None,
         served_by=engine.served_by,
+        trace_source={"kind": workload.kind, **workload.identity_dict()},
     )
     return ReportRun(
         results=results,

@@ -22,6 +22,8 @@ Examples::
     repro plan spec.json         # show the task graph, run nothing
     repro sweep spec.json        # execute a spec's config sweep
     repro sweep --experiments fig9 --axis gshare_history_bits=8,16
+    repro sweep spec.json --axis mix.noise=0,1,2   # workload-mix sweep
+    repro ingest trace.txt --emit-spec spec.json   # foreign traces
     repro serve --port 8023      # analysis-as-a-service daemon
     repro submit spec.json --server http://127.0.0.1:8023
     repro obs show run_manifest.json   # inspect/validate a manifest
@@ -379,19 +381,32 @@ def _run_main(argv: List[str]) -> int:
 
 
 def _parse_axis(text: str):
-    """Parse one ``--axis FIELD=V1,V2,...`` occurrence."""
+    """Parse one ``--axis FIELD=V1,V2,...`` occurrence.
+
+    Values parse as ints where possible, floats otherwise -- config and
+    workload axes are integral, but ``mix.<class>`` weights are real.
+    Which numeric types a given field actually accepts is enforced by
+    :class:`~repro.spec.SweepSpec` validation, with the field name in
+    the error.
+    """
     name, _, values = text.partition("=")
     if not name or not values:
         raise ValueError(
             f"--axis expects FIELD=V1,V2,... , got {text!r}"
         )
-    try:
-        parsed = tuple(int(value) for value in values.split(","))
-    except ValueError:
-        raise ValueError(
-            f"--axis {name}: values must be integers, got {values!r}"
-        ) from None
-    return name, parsed
+
+    def _number(value: str):
+        try:
+            return int(value)
+        except ValueError:
+            try:
+                return float(value)
+            except ValueError:
+                raise ValueError(
+                    f"--axis {name}: values must be numbers, got {value!r}"
+                ) from None
+
+    return name, tuple(_number(value) for value in values.split(","))
 
 
 def _sweep_main(argv: List[str]) -> int:
@@ -517,6 +532,108 @@ def _sweep_main(argv: List[str]) -> int:
     )
 
 
+def _ingest_main(argv: List[str]) -> int:
+    """``repro ingest``: convert foreign traces to native ``.bpt``."""
+    from repro.trace.ingest import INGEST_FORMATS, ingest_file
+
+    parser = argparse.ArgumentParser(
+        prog="repro ingest",
+        description=(
+            "Validate foreign branch traces (CBP-style text, packed "
+            "binary pc+taken records, or native .bpt) and spill them "
+            "to the chunked BPT2 format the engine consumes, printing "
+            "each trace's canonical content digest.  --emit-spec "
+            "writes a ready-to-run RunSpec whose workload imports the "
+            "ingested traces ('repro run SPEC' executes it)."
+        ),
+    )
+    parser.add_argument(
+        "traces", metavar="TRACE", nargs="+",
+        help="foreign trace files to ingest",
+    )
+    parser.add_argument(
+        "--format", choices=INGEST_FORMATS, default=None,
+        help="declared input format (default: sniffed per file)",
+    )
+    parser.add_argument(
+        "--out-dir", metavar="DIR", default=None,
+        help=(
+            "directory for the converted .bpt artefacts (default: "
+            "next to each input file)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-branches", type=int, default=None,
+        help="BPT2 spill window in branches (default: engine default)",
+    )
+    parser.add_argument(
+        "--emit-spec", metavar="PATH", default=None,
+        help="write a RunSpec importing the ingested traces to PATH",
+    )
+    parser.add_argument(
+        "--experiments", metavar="IDS", default=None,
+        help=(
+            "comma-separated experiment ids for --emit-spec (default: "
+            "the nine paper artefacts)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    import os
+
+    results = []
+    for source in args.traces:
+        out_path = None
+        if args.out_dir is not None:
+            os.makedirs(args.out_dir, exist_ok=True)
+            out_path = os.path.join(
+                args.out_dir, os.path.basename(source) + ".bpt"
+            )
+        try:
+            result = ingest_file(
+                source,
+                out_path,
+                format=args.format,
+                chunk_branches=args.chunk_branches,
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return error.exit_code
+        results.append(result)
+        print(
+            f"{result.name}: {result.branches} branches "
+            f"[{result.format}] {result.digest}"
+        )
+        if result.path != result.source_path:
+            print(f"  -> {result.path}")
+
+    if args.emit_spec:
+        from repro.spec import ImportedSource, RunSpec, SpecError
+
+        experiments = (
+            tuple(item for item in args.experiments.split(",") if item)
+            if args.experiments
+            else EXPERIMENT_IDS
+        )
+        try:
+            spec = RunSpec(
+                experiments=experiments,
+                workload=ImportedSource(
+                    traces=tuple(
+                        result.to_entry() for result in results
+                    ),
+                ),
+            )
+        except SpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        spec.to_file(args.emit_spec)
+        print(
+            f"run spec written to {args.emit_spec} ({spec.digest()})"
+        )
+    return 0
+
+
 def _plan_main(argv: List[str]) -> int:
     """``repro plan SPEC``: print the task graph without running it."""
     parser = argparse.ArgumentParser(
@@ -556,6 +673,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _sweep_main(argv[1:])
     if argv and argv[0] == "plan":
         return _plan_main(argv[1:])
+    if argv and argv[0] == "ingest":
+        return _ingest_main(argv[1:])
     if argv and argv[0] == "serve":
         from repro.serve import main as serve_main
 

@@ -91,6 +91,20 @@ class PlanError(ReproError, ValueError):
     exit_code = 2
 
 
+class IngestError(ReproError, ValueError):
+    """A foreign trace file was rejected by an importer.
+
+    Raised with the offending ``path:line`` (text formats) or byte
+    offset (binary formats) in the message, so a malformed trace is a
+    usage error (exit 2), never a traceback.  Subclasses ``ValueError``
+    so callers probing formats with ``except ValueError`` keep working.
+    """
+
+    code = "ingest.invalid"
+    http_status = 400
+    exit_code = 2
+
+
 class EngineError(ReproError, RuntimeError):
     """The execution engine itself failed.
 
@@ -148,6 +162,8 @@ def error_from_payload(payload: Dict[str, Any]) -> ReproError:
         error = SpecError(message)
     elif code.startswith("plan."):
         error = PlanError(message)
+    elif code.startswith("ingest."):
+        error = IngestError(message)
     elif code.startswith("admission."):
         error = AdmissionError(
             message, code=code, retry_after=payload.get("retry_after")
@@ -162,6 +178,7 @@ __all__ = [
     "EXIT_INTERRUPTED",
     "AdmissionError",
     "EngineError",
+    "IngestError",
     "PlanError",
     "ReproError",
     "SpecError",

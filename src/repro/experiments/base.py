@@ -162,8 +162,9 @@ def build_labs(
     benchmarks: Optional[tuple] = None,
     pool: Optional[Any] = None,
     chunk_branches: Optional[int] = None,
+    source: Optional[Any] = None,
 ) -> Dict[str, Lab]:
-    """One :class:`Lab` per suite benchmark, sharing a configuration.
+    """One :class:`Lab` per trace of the run's source.
 
     Args:
         max_length: Scale anchor for the longest benchmark (defaults to
@@ -191,17 +192,51 @@ def build_labs(
         chunk_branches: Streaming window for the chunkable simulation
             tasks (see :func:`repro.analysis.parallel.prime_labs`);
             None keeps the whole-trace path.
+        source: Optional :data:`~repro.spec.TraceSource` the labs load
+            from.  None keeps the legacy behaviour (the unmixed suite);
+            a :class:`~repro.spec.SyntheticSource` applies its mix
+            weights, and an :class:`~repro.spec.ImportedSource` loads
+            its digest-verified foreign traces instead of generating.
     """
     labs = {}
+    sources: Dict[str, tuple] = {}
     with span("build_labs", run_seed=run_seed):
-        for name in (BENCHMARK_NAMES if benchmarks is None else benchmarks):
-            length = scaled_length(name, max_length)
-            trace = cache.load_trace(name, length, run_seed) if cache else None
-            if trace is None:
-                trace = load_benchmark(name, length, run_seed)
-                if cache is not None:
-                    cache.store_trace(name, length, run_seed, trace)
-            labs[name] = Lab(trace, config, cache=cache)
+        if source is not None and getattr(source, "kind", "") == "imported":
+            from repro.trace.ingest import load_imported_trace
+
+            wanted = source.trace_names() if benchmarks is None else benchmarks
+            for name in wanted:
+                entry = source.entry(name)
+                trace = load_imported_trace(
+                    entry.path,
+                    format=entry.format,
+                    expected_digest=entry.digest,
+                )
+                labs[name] = Lab(trace, config, cache=cache)
+                sources[name] = (
+                    "imported", entry.path, entry.format, entry.digest,
+                )
+        else:
+            from repro.workloads.suite import effective_mix, mix_signature
+
+            mix = source.mix_map() if source is not None else None
+            for name in (BENCHMARK_NAMES if benchmarks is None else benchmarks):
+                length = scaled_length(name, max_length)
+                variant = mix_signature(name, mix) if mix else ""
+                trace = (
+                    cache.load_trace(name, length, run_seed, variant=variant)
+                    if cache
+                    else None
+                )
+                if trace is None:
+                    trace = load_benchmark(name, length, run_seed, mix=mix)
+                    if cache is not None:
+                        cache.store_trace(
+                            name, length, run_seed, trace, variant=variant
+                        )
+                labs[name] = Lab(trace, config, cache=cache)
+                if variant:
+                    sources[name] = ("synthetic", effective_mix(name, mix))
         if jobs is not None:
             from repro.analysis.parallel import DEFAULT_TASKS, prime_labs
 
@@ -216,6 +251,7 @@ def build_labs(
                 failures=failures,
                 pool=pool,
                 chunk_branches=chunk_branches,
+                sources=sources or None,
             )
     return labs
 
@@ -239,6 +275,7 @@ def run_experiment(experiment_id: str, labs: Dict[str, Lab]) -> ExperimentResult
 def _ensure_registered() -> None:
     """Import the experiment modules so their decorators run."""
     from repro.experiments import (  # noqa: F401
+        characterize,
         extensions,
         fig4,
         fig5,
@@ -277,4 +314,5 @@ EXTENSION_IDS = (
     "ext_taxonomy",
     "ext_profile",
     "ext_training",
+    "ext_characterize",
 )

@@ -1,0 +1,112 @@
+"""Workload-mix characterisation: accuracy across the behaviour simplex.
+
+``ext_characterize`` sweeps the workload mix (see
+:func:`repro.workloads.suite.apply_mix`) over a compact probe
+benchmark: one corner point per behaviour class -- that class boosted,
+the other three dropped, the unclassified biased baseline always
+present -- plus the unmixed baseline and a uniform blend.  At each
+point the registry predictors run over the regenerated trace, so the
+table reads as per-class predictability: which behaviour each predictor
+family actually captures, isolated by construction rather than by
+post-hoc attribution.
+
+The runner deliberately ignores the session labs (``requires=()``):
+every probe trace is regenerated at a small fixed length and seed, so
+the result is deterministic and independent of the run's own workload
+source -- it characterises the *generator's* behaviour classes, which
+is exactly what a mix-weight sweep axis then modulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.config import DEFAULT_CONFIG
+from repro.analysis.runner import Lab
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.report import format_table
+from repro.workloads.motifs import MIX_CLASSES
+from repro.workloads.suite import load_benchmark
+
+#: The probe benchmark; ``xlisp`` is the only profile with units in all
+#: four behaviour classes, so every simplex corner is non-degenerate.
+PROBE_BENCHMARK = "xlisp"
+
+#: Dynamic branches per probe point -- small enough to regenerate in
+#: milliseconds, long enough for two-level histories to warm up.
+PROBE_LENGTH = 20000
+
+#: Fixed execution seed; the experiment is deterministic by design.
+PROBE_SEED = 12345
+
+#: Boost applied to the emphasised class at each simplex corner.
+PROBE_BOOST = 4.0
+
+#: Predictors characterised at each mix point (Lab registry names).
+PROBE_PREDICTORS = ("gshare", "pas", "loop", "block", "ideal_static")
+
+
+def _mix_points() -> Tuple[Tuple[str, dict], ...]:
+    """The deterministic probe points over the mix simplex."""
+    points = [("baseline", {})]
+    for emphasised in MIX_CLASSES:
+        mix = {
+            cls: (PROBE_BOOST if cls == emphasised else 0.0)
+            for cls in MIX_CLASSES
+        }
+        points.append((emphasised, mix))
+    points.append(("blend", {cls: 2.0 for cls in MIX_CLASSES}))
+    return tuple(points)
+
+
+@dataclass
+class CharacterizeResult(ExperimentResult):
+    #: mix point -> (mix signature, branches, {predictor: accuracy})
+    rows: Dict[str, tuple]
+
+    experiment_id = "ext_characterize"
+    title = "Per-class predictability across the workload-mix simplex (extension)"
+
+    def render(self) -> str:
+        table = format_table(
+            ("mix point", "branches") + PROBE_PREDICTORS,
+            [
+                (
+                    point,
+                    str(row[1]),
+                    *(
+                        f"{row[2][predictor] * 100:.1f}%"
+                        for predictor in PROBE_PREDICTORS
+                    ),
+                )
+                for point, row in self.rows.items()
+            ],
+        )
+        return (
+            f"{table}\n"
+            f"probe: {PROBE_BENCHMARK} @ {PROBE_LENGTH} branches, seed "
+            f"{PROBE_SEED}; each class corner boosts that class "
+            f"{PROBE_BOOST:g}x and drops the other three (the biased "
+            "baseline mass is unclassified and always present)"
+        )
+
+
+@register("ext_characterize", requires=())
+def run_characterize(labs: Dict[str, Lab]) -> CharacterizeResult:
+    """Accuracy of the registry predictors at each mix probe point."""
+    rows: Dict[str, tuple] = {}
+    for point, mix in _mix_points():
+        trace = load_benchmark(
+            PROBE_BENCHMARK, PROBE_LENGTH, PROBE_SEED, mix=mix or None
+        )
+        lab = Lab(trace, DEFAULT_CONFIG)
+        accuracies = {
+            predictor: lab.accuracy(predictor)
+            for predictor in PROBE_PREDICTORS
+        }
+        signature = ",".join(
+            f"{cls}={format(weight, 'g')}" for cls, weight in sorted(mix.items())
+        )
+        rows[point] = (signature, len(trace), accuracies)
+    return CharacterizeResult(rows=rows)

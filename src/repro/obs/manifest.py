@@ -40,7 +40,13 @@ from typing import Any, Dict, List, Optional
 #: ``jobs``, it is an execution knob -- chunked results are
 #: bit-identical to whole-trace results by contract (PC011) -- so it
 #: too stays out of the deterministic diff keys.
-MANIFEST_SCHEMA_VERSION = 5
+#: v6 added ``trace_source`` (the spec workload's identity payload --
+#: ``{"kind": "synthetic"|"imported", ...}`` -- or None for callers
+#: predating the TraceSource union).  Identity, not execution: it joins
+#: the deterministic diff keys, so a run over ingested traces diffs
+#: clean against another run over the same digests and *dirty* against
+#: a synthetic run that merely produced equal trace bytes.
+MANIFEST_SCHEMA_VERSION = 6
 
 #: Discriminator so readers can reject non-manifest JSON early.
 MANIFEST_KIND = "repro.run_manifest"
@@ -88,6 +94,7 @@ def build_manifest(
     spec_digest: Optional[str] = None,
     sweep: Optional[dict] = None,
     served_by: Optional[str] = None,
+    trace_source: Optional[dict] = None,
 ) -> dict:
     """Assemble the manifest dict for one finished report run.
 
@@ -116,6 +123,9 @@ def build_manifest(
             mapping (None for a plain, non-sweep run).
         served_by: The serving daemon's instance id when the run went
             through ``repro serve`` (None for a direct run).
+        trace_source: The spec workload's identity payload (kind plus
+            the source's identity dict; None for callers predating the
+            TraceSource union).  Part of the deterministic diff keys.
     """
     counters = metrics.get("counters", {})
     extra = resilience or {}
@@ -153,6 +163,9 @@ def build_manifest(
         "spec_digest": spec_digest,
         "sweep": None if sweep is None else dict(sweep),
         "served_by": served_by,
+        "trace_source": (
+            None if trace_source is None else dict(trace_source)
+        ),
         "config_digest": config_digest(config),
         "config": {
             name: getattr(config, name)
@@ -210,6 +223,7 @@ _TOP_LEVEL_SPEC: Dict[str, tuple] = {
     "spec_digest": (str, type(None)),
     "sweep": (dict, type(None)),
     "served_by": (str, type(None)),
+    "trace_source": (dict, type(None)),
     "config_digest": (str,),
     "config": (dict,),
     "cache": (dict,),
@@ -352,6 +366,7 @@ _DETERMINISTIC_KEYS = (
     "config_digest",
     "run_seed",
     "max_length",
+    "trace_source",
     "traces",
 )
 
@@ -401,6 +416,10 @@ def summarize_manifest(payload: dict) -> str:
         lines.append(f"  chunking:    {payload['chunk_branches']} branches/window")
     if payload.get("spec_digest"):
         lines.append(f"  spec:        {payload['spec_digest']}")
+    if payload.get("trace_source"):
+        lines.append(
+            f"  source:      {payload['trace_source'].get('kind', '?')}"
+        )
     if payload.get("served_by"):
         lines.append(f"  served by:   {payload['served_by']}")
     if payload.get("sweep"):

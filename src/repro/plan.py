@@ -199,7 +199,7 @@ def build_plan(spec: RunSpec) -> Plan:
     from repro.analysis.streamed import CHUNKABLE_TASKS
     from repro.experiments.base import experiment_requires
     from repro.trace.stream import chunk_spans, normalize_chunk_branches
-    from repro.workloads.suite import BENCHMARK_NAMES, scaled_length
+    from repro.workloads.suite import scaled_length
 
     for experiment_id in spec.experiments:
         try:
@@ -217,11 +217,7 @@ def build_plan(spec: RunSpec) -> Plan:
             )
 
     points = tuple(spec.expand_points())
-    benchmarks = (
-        spec.workload.benchmarks
-        if spec.workload.benchmarks is not None
-        else tuple(BENCHMARK_NAMES)
-    )
+    benchmarks = spec.workload.trace_names()
     chunk_branches = (
         None
         if spec.engine.chunk_branches is None
@@ -258,11 +254,19 @@ def build_plan(spec: RunSpec) -> Plan:
             )
         )
 
+        # Per-point source identity: "" keeps the legacy key bytes (the
+        # dedup anchor across mix-swept points whose mix does not touch
+        # this benchmark); a mix signature or a content digest forks it.
+        def source_key(name: str) -> str:
+            identity = workload.trace_identity(name)
+            if workload.kind == "imported":
+                return f"{name}|{identity}"
+            base = f"{name}|{workload.max_length}|{workload.seed}"
+            return f"{base}|{identity}" if identity else base
+
         trace_ids = {}
         for name in benchmarks:
-            trace_key = (
-                f"trace|{name}|{workload.max_length}|{workload.seed}"
-            )
+            trace_key = f"trace|{source_key(name)}"
             task = add(
                 PlanTask(
                     id=f"{prefix}/trace/{name}",
@@ -278,14 +282,21 @@ def build_plan(spec: RunSpec) -> Plan:
         for task_name in needed:
             for name in benchmarks:
                 sim_key = (
-                    f"sim|{name}|{workload.max_length}|{workload.seed}"
+                    f"sim|{source_key(name)}"
                     f"|{task_config_key(task_name, point_spec.config)}"
                 )
-                length = scaled_length(name, workload.max_length)
+                if workload.kind == "imported":
+                    # Chunk-span planning needs a branch count before the
+                    # file is opened; undeclared lengths plan unchunked
+                    # (the executor still streams bounded windows).
+                    length = workload.entry(name).branches
+                else:
+                    length = scaled_length(name, workload.max_length)
                 spans = (
                     chunk_spans(length, chunk_branches)
                     if chunk_branches is not None
                     and task_name in CHUNKABLE_TASKS
+                    and length is not None
                     and length > chunk_branches
                     else []
                 )

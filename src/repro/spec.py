@@ -47,11 +47,30 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.analysis.config import DEFAULT_CONFIG, LabConfig
 from repro.errors import SpecError
 
-#: Bump on any spec layout or semantics change.
-SPEC_SCHEMA_VERSION = 1
+#: Bump on any spec layout or semantics change.  v2 added the tagged
+#: trace-source union (``workload.kind``: synthetic | imported), mix
+#: weights, and workload/mix sweep axes.
+SPEC_SCHEMA_VERSION = 2
+
+#: Document versions this reader accepts.  v1 documents (no ``kind``
+#: tag, no mix) parse via the synthetic compat path.
+SPEC_ACCEPTED_VERSIONS = (1, 2)
+
+#: The schema version embedded in :meth:`RunSpec.identity`.  Pinned
+#: independently of the *document* version above: a document-layout
+#: revision that does not change what any existing run computes must
+#: not shift every digest, journal key and cache key in the fleet.
+#: Bump this only when identity semantics themselves change.
+SPEC_IDENTITY_VERSION = 1
 
 #: Discriminator so readers can reject non-spec JSON early.
 SPEC_KIND = "repro.runspec"
+
+#: Trace-source kinds a v2 workload may declare.
+SOURCE_KINDS = ("synthetic", "imported")
+
+#: Workload-level sweep axes (beyond LabConfig fields and ``mix.*``).
+WORKLOAD_SWEEP_FIELDS = ("workload.max_length", "workload.seed")
 
 #: LabConfig field names a spec (and a sweep axis) may set.
 CONFIG_FIELDS: Tuple[str, ...] = tuple(
@@ -81,9 +100,48 @@ def _require(payload: Any, type_, context: str):
     return payload
 
 
+def _canonical_mix(mix: Any) -> Optional[Tuple[Tuple[str, float], ...]]:
+    """Validate a mix mapping and normalise it to a sorted tuple.
+
+    Rejects unknown behaviour classes and negative / non-numeric
+    weights *here*, at spec-parse depth, so a bad ``mix.noise`` axis
+    fails before any generator work starts.  An empty mix normalises
+    to ``None`` (the identity), keeping legacy digests untouched.
+    """
+    if mix is None:
+        return None
+    from repro.workloads.motifs import MIX_CLASSES
+
+    if not isinstance(mix, dict):
+        mix = dict(mix)
+    items = []
+    for cls in sorted(mix):
+        if not isinstance(cls, str) or cls not in MIX_CLASSES:
+            raise SpecError(
+                f"workload.mix: unknown behaviour class {cls!r}; choose "
+                f"from {', '.join(MIX_CLASSES)}"
+            )
+        raw = mix[cls]
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise SpecError(
+                f"workload.mix[{cls!r}]: expected a number, got {raw!r}"
+            )
+        weight = float(raw)
+        if weight < 0 or weight != weight:
+            raise SpecError(
+                f"workload.mix[{cls!r}]: weight must be non-negative, "
+                f"got {raw!r}"
+            )
+        items.append((cls, weight))
+    return tuple(items) or None
+
+
 @dataclass(frozen=True)
-class WorkloadSpec:
-    """Which traces a run simulates.
+class SyntheticSource:
+    """The generated suite: which analogue traces a run simulates.
+
+    The v1 ``WorkloadSpec`` (``WorkloadSpec`` remains as an alias),
+    generalised with first-class behaviour-class ``mix`` weights.
 
     Attributes:
         max_length: Scale anchor for the longest benchmark trace
@@ -92,30 +150,78 @@ class WorkloadSpec:
         seed: Workload execution seed (the "input data set").
         benchmarks: Benchmark subset, in suite order (None = the full
             eight-benchmark paper suite).
+        mix: Behaviour-class weights over loop/pattern/correlated/noise
+            (None = the untouched paper profiles).  Serialised, and
+            digested, only when set -- a mix-free source round-trips to
+            the exact v1 JSON layout, so every pre-existing digest,
+            journal key and cache key is preserved.
     """
+
+    kind = "synthetic"
 
     max_length: Optional[int] = None
     seed: int = 12345
     benchmarks: Optional[Tuple[str, ...]] = None
+    mix: Optional[Tuple[Tuple[str, float], ...]] = None
 
     def __post_init__(self):
         if self.benchmarks is not None:
             object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        object.__setattr__(self, "mix", _canonical_mix(self.mix))
+
+    def mix_map(self) -> Optional[Dict[str, float]]:
+        """The mix as a plain mapping (None when unset)."""
+        return None if self.mix is None else dict(self.mix)
+
+    def trace_names(self) -> Tuple[str, ...]:
+        """The benchmark names this source yields, in suite order."""
+        if self.benchmarks is not None:
+            return self.benchmarks
+        from repro.workloads.suite import BENCHMARK_NAMES
+
+        return tuple(BENCHMARK_NAMES)
+
+    def trace_identity(self, name: str) -> str:
+        """Per-benchmark source-identity suffix for plan/cache keys.
+
+        ``""`` whenever this source yields the exact legacy trace --
+        including a mix that happens not to touch ``name``'s profile --
+        so unchanged traces dedupe against legacy keys across mix-swept
+        points.
+        """
+        if self.mix is None:
+            return ""
+        from repro.workloads.suite import mix_signature
+
+        signature = mix_signature(name, dict(self.mix))
+        return f"mix={signature}" if signature else ""
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "max_length": self.max_length,
             "seed": self.seed,
             "benchmarks": (
                 None if self.benchmarks is None else list(self.benchmarks)
             ),
         }
+        if self.mix is not None:
+            # Tagged v2 layout -- only when the new field is in play, so
+            # mix-free sources keep the v1 byte layout (and digests).
+            payload["kind"] = self.kind
+            payload["mix"] = {cls: weight for cls, weight in self.mix}
+        return payload
+
+    def identity_dict(self) -> Dict[str, Any]:
+        """The digest-relevant form (same as the wire form here)."""
+        return self.to_dict()
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, Any]) -> "WorkloadSpec":
+    def from_dict(cls, payload: Dict[str, Any]) -> "SyntheticSource":
         _require(payload, dict, "workload")
         _reject_unknown(
-            payload, ("max_length", "seed", "benchmarks"), "workload"
+            payload,
+            ("kind", "max_length", "seed", "benchmarks", "mix"),
+            "workload",
         )
         benchmarks = payload.get("benchmarks")
         if benchmarks is not None:
@@ -123,10 +229,14 @@ class WorkloadSpec:
                 _require(name, str, "workload.benchmarks[]")
                 for name in _require(benchmarks, list, "workload.benchmarks")
             )
+        mix = payload.get("mix")
+        if mix is not None:
+            _require(mix, dict, "workload.mix")
         spec = cls(
             max_length=payload.get("max_length"),
             seed=payload.get("seed", 12345),
             benchmarks=benchmarks,
+            mix=None if mix is None else tuple(sorted(mix.items())),
         )
         if spec.max_length is not None and (
             not isinstance(spec.max_length, int) or spec.max_length <= 0
@@ -135,6 +245,174 @@ class WorkloadSpec:
         if not isinstance(spec.seed, int):
             raise SpecError("workload.seed: expected an int")
         return spec
+
+
+#: Compat alias: the v1 name for the synthetic source.
+WorkloadSpec = SyntheticSource
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One imported trace, referenced by content digest.
+
+    Attributes:
+        name: The benchmark-style name the trace runs under.
+        digest: The canonical trace content digest
+            (:meth:`repro.trace.trace.Trace.digest`), the entry's
+            *identity*: two entries with equal digests are the same
+            trace wherever their files live.
+        path: Where the trace bytes live (``.bpt`` spill, text, or
+            binary PC+taken).  Execution detail -- excluded from the
+            spec digest so a spec stays portable across machines.
+        format: Optional declared format (``bpt2``/``text``/``binary``;
+            None = sniff from the file).
+        branches: Optional declared dynamic branch count, used for
+            chunk-span planning before the file is opened.
+    """
+
+    name: str
+    digest: str
+    path: str
+    format: Optional[str] = None
+    branches: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "digest": self.digest,
+            "path": self.path,
+            "format": self.format,
+            "branches": self.branches,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any], context: str) -> "TraceEntry":
+        _require(payload, dict, context)
+        _reject_unknown(
+            payload, ("name", "digest", "path", "format", "branches"), context
+        )
+        entry = cls(
+            name=_require(payload.get("name", ""), str, f"{context}.name"),
+            digest=_require(
+                payload.get("digest", ""), str, f"{context}.digest"
+            ),
+            path=_require(payload.get("path", ""), str, f"{context}.path"),
+            format=payload.get("format"),
+            branches=payload.get("branches"),
+        )
+        if not entry.name:
+            raise SpecError(f"{context}.name: must be a non-empty string")
+        if not entry.digest:
+            raise SpecError(f"{context}.digest: must be a non-empty string")
+        if not entry.path:
+            raise SpecError(f"{context}.path: must be a non-empty string")
+        if entry.format is not None and not isinstance(entry.format, str):
+            raise SpecError(f"{context}.format: expected a string or null")
+        if entry.branches is not None and (
+            not isinstance(entry.branches, int) or entry.branches <= 0
+        ):
+            raise SpecError(f"{context}.branches: expected a positive int")
+        return entry
+
+
+@dataclass(frozen=True)
+class ImportedSource:
+    """Foreign traces (CBP-style text / binary / ``.bpt``), by digest.
+
+    The run's inputs are the trace *contents*: the spec digest covers
+    each entry's name and content digest only, never its path, so a
+    spec produced on one machine keys the same journal entries and
+    cache hits on another.
+
+    Attributes:
+        traces: The imported traces, in run order.
+        seed: Nominal run seed recorded in manifests (imported traces
+            carry their own outcomes; nothing is generated from this).
+    """
+
+    kind = "imported"
+
+    traces: Tuple[TraceEntry, ...] = ()
+    seed: int = 0
+
+    #: Imported traces have no synthetic scale anchor.
+    max_length = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "traces", tuple(self.traces))
+        if not self.traces:
+            raise SpecError("workload.traces: at least one trace is required")
+        names = [entry.name for entry in self.traces]
+        if len(set(names)) != len(names):
+            raise SpecError(
+                f"workload.traces: duplicate trace name(s) in {names}"
+            )
+
+    def trace_names(self) -> Tuple[str, ...]:
+        return tuple(entry.name for entry in self.traces)
+
+    def entry(self, name: str) -> TraceEntry:
+        for candidate in self.traces:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"imported source has no trace named {name!r}")
+
+    def trace_identity(self, name: str) -> str:
+        """Content-digest identity for plan/cache keys."""
+        return f"digest={self.entry(name).digest}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "traces": [entry.to_dict() for entry in self.traces],
+        }
+
+    def identity_dict(self) -> Dict[str, Any]:
+        """Digest form: names and content digests only, never paths."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "traces": [
+                {"name": entry.name, "digest": entry.digest}
+                for entry in self.traces
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ImportedSource":
+        _require(payload, dict, "workload")
+        _reject_unknown(payload, ("kind", "seed", "traces"), "workload")
+        seed = payload.get("seed", 0)
+        if not isinstance(seed, int):
+            raise SpecError("workload.seed: expected an int")
+        raw = _require(payload.get("traces", []), list, "workload.traces")
+        traces = tuple(
+            TraceEntry.from_dict(item, f"workload.traces[{i}]")
+            for i, item in enumerate(raw)
+        )
+        return cls(traces=traces, seed=seed)
+
+
+#: The trace-source union every layer downstream of parsing sees.
+TraceSource = Union[SyntheticSource, ImportedSource]
+
+
+def workload_from_dict(payload: Dict[str, Any]) -> TraceSource:
+    """Parse a workload document, dispatching on its ``kind`` tag.
+
+    Untagged documents are v1 synthetic workloads (the compat path);
+    unknown kinds are rejected here, at parse time.
+    """
+    _require(payload, dict, "workload")
+    kind = payload.get("kind", "synthetic")
+    if kind == "synthetic":
+        return SyntheticSource.from_dict(payload)
+    if kind == "imported":
+        return ImportedSource.from_dict(payload)
+    raise SpecError(
+        f"workload.kind {kind!r} not one of {SOURCE_KINDS}"
+    )
 
 
 @dataclass(frozen=True)
@@ -253,13 +531,55 @@ class EngineOptions:
         return replace(self, **updates)
 
 
+def _validate_axis(name: str, values: Tuple[Any, ...]) -> None:
+    """Reject an unknown axis name or a mistyped axis value."""
+    if name in CONFIG_FIELDS or name in WORKLOAD_SWEEP_FIELDS:
+        for value in values:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SpecError(
+                    f"sweep axis {name!r}: values must be ints, got "
+                    f"{value!r}"
+                )
+        return
+    if name.startswith("mix."):
+        from repro.workloads.motifs import MIX_CLASSES
+
+        cls = name[len("mix."):]
+        if cls not in MIX_CLASSES:
+            raise SpecError(
+                f"sweep axis {name!r}: unknown behaviour class {cls!r}; "
+                f"choose from {', '.join(MIX_CLASSES)}"
+            )
+        for value in values:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SpecError(
+                    f"sweep axis {name!r}: weights must be numbers, got "
+                    f"{value!r}"
+                )
+            if value < 0 or value != value:
+                raise SpecError(
+                    f"sweep axis {name!r}: weights must be non-negative, "
+                    f"got {value!r}"
+                )
+        return
+    raise SpecError(
+        f"sweep axis {name!r} is not sweepable; choose a LabConfig field "
+        f"({', '.join(CONFIG_FIELDS)}), a workload field "
+        f"({', '.join(WORKLOAD_SWEEP_FIELDS)}), or mix.<class>"
+    )
+
+
 @dataclass(frozen=True)
 class SweepSpec:
-    """A grid over ``LabConfig`` fields.
+    """A grid over config, workload, and mix fields.
 
     Attributes:
-        axes: ``((field, (value, ...)), ...)`` sorted by field name;
-            each field must be a :class:`LabConfig` sizing field.
+        axes: ``((field, (value, ...)), ...)`` sorted by field name.
+            A field is a :class:`LabConfig` sizing field (int values),
+            one of :data:`WORKLOAD_SWEEP_FIELDS` (int values), or
+            ``mix.<class>`` for a behaviour class from
+            :data:`repro.workloads.motifs.MIX_CLASSES` (non-negative
+            numeric weights).
         mode: ``grid`` (cartesian product, the default) or ``zip``
             (element-wise pairing; axes must share one length).
     """
@@ -273,19 +593,9 @@ class SweepSpec:
         )
         object.__setattr__(self, "axes", normalized)
         for name, values in self.axes:
-            if name not in CONFIG_FIELDS:
-                raise SpecError(
-                    f"sweep axis {name!r} is not a LabConfig field; choose "
-                    f"from {', '.join(CONFIG_FIELDS)}"
-                )
             if not values:
                 raise SpecError(f"sweep axis {name!r} has no values")
-            for value in values:
-                if not isinstance(value, int):
-                    raise SpecError(
-                        f"sweep axis {name!r}: values must be ints, got "
-                        f"{value!r}"
-                    )
+            _validate_axis(name, values)
         if not self.axes:
             raise SpecError("sweep: at least one axis is required")
         if self.mode not in SWEEP_MODES:
@@ -356,7 +666,7 @@ class RunSpec:
     """
 
     experiments: Tuple[str, ...] = ()
-    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    workload: TraceSource = field(default_factory=SyntheticSource)
     config: LabConfig = DEFAULT_CONFIG
     engine: EngineOptions = field(default_factory=EngineOptions)
     sweep: Optional[SweepSpec] = None
@@ -403,10 +713,10 @@ class RunSpec:
         if kind != SPEC_KIND:
             raise SpecError(f"spec kind {kind!r} != {SPEC_KIND!r}")
         version = payload.get("schema_version", SPEC_SCHEMA_VERSION)
-        if version != SPEC_SCHEMA_VERSION:
+        if version not in SPEC_ACCEPTED_VERSIONS:
             raise SpecError(
-                f"spec schema_version {version!r} != {SPEC_SCHEMA_VERSION} "
-                "(this reader)"
+                f"spec schema_version {version!r} not in "
+                f"{SPEC_ACCEPTED_VERSIONS} (this reader)"
             )
         experiments = tuple(
             _require(item, str, "experiments[]")
@@ -417,7 +727,7 @@ class RunSpec:
         sweep = payload.get("sweep")
         return cls(
             experiments=experiments,
-            workload=WorkloadSpec.from_dict(payload.get("workload", {})),
+            workload=workload_from_dict(payload.get("workload", {})),
             config=_config_from_dict(payload.get("config", {})),
             engine=EngineOptions.from_dict(payload.get("engine", {})),
             sweep=None if sweep is None else SweepSpec.from_dict(sweep),
@@ -448,12 +758,14 @@ class RunSpec:
         """The digest-relevant subset: what the run computes.
 
         Engine options (jobs, cache, retries, ...) are excluded: they
-        change execution, never results.
+        change execution, never results.  The workload participates via
+        :meth:`~SyntheticSource.identity_dict` -- for imported sources
+        that is trace names plus content digests, never file paths.
         """
         return {
-            "schema_version": SPEC_SCHEMA_VERSION,
+            "schema_version": SPEC_IDENTITY_VERSION,
             "experiments": list(self.experiments),
-            "workload": self.workload.to_dict(),
+            "workload": self.workload.identity_dict(),
             "config": _config_to_dict(self.config),
             "sweep": None if self.sweep is None else self.sweep.to_dict(),
         }
@@ -475,8 +787,8 @@ class RunSpec:
         """
         canonical = json.dumps(
             {
-                "schema_version": SPEC_SCHEMA_VERSION,
-                "workload": self.workload.to_dict(),
+                "schema_version": SPEC_IDENTITY_VERSION,
+                "workload": self.workload.identity_dict(),
                 "config": _config_to_dict(self.config),
             },
             sort_keys=True,
@@ -490,12 +802,51 @@ class RunSpec:
     def point(self, coords: Dict[str, Any]) -> "RunSpec":
         """The single-point spec at one sweep coordinate.
 
-        The returned spec has ``coords`` folded into its config and no
-        sweep, so its digest differs from a sibling point's exactly in
-        the swept fields.
+        The returned spec has ``coords`` folded into its config and
+        workload (``workload.*`` / ``mix.*`` axes) and no sweep, so its
+        digest differs from a sibling point's exactly in the swept
+        fields.
+
+        Raises:
+            SpecError: When a workload or mix axis targets an imported
+                source (there is nothing to regenerate).
         """
+        config_coords = {
+            name: value
+            for name, value in coords.items()
+            if name in CONFIG_FIELDS
+        }
+        workload_coords = {
+            name.split(".", 1)[1]: value
+            for name, value in coords.items()
+            if name in WORKLOAD_SWEEP_FIELDS
+        }
+        mix_coords = {
+            name[len("mix."):]: value
+            for name, value in coords.items()
+            if name.startswith("mix.")
+        }
+        workload = self.workload
+        if workload_coords or mix_coords:
+            if not isinstance(workload, SyntheticSource):
+                swept = sorted(
+                    set(coords) - set(config_coords)
+                )
+                raise SpecError(
+                    f"sweep axes {swept} require a synthetic workload; "
+                    f"this spec imports traces"
+                )
+            updates: Dict[str, Any] = dict(workload_coords)
+            if mix_coords:
+                merged = dict(workload.mix or ())
+                merged.update(mix_coords)
+                updates["mix"] = tuple(sorted(merged.items()))
+            workload = replace(workload, **updates)
         return replace(
-            self, config=replace(self.config, **coords), sweep=None
+            self,
+            config=replace(self.config, **config_coords),
+            workload=workload,
+            sweep=None,
         )
 
     def expand_points(self) -> List[Tuple[Dict[str, Any], "RunSpec"]]:

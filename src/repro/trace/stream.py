@@ -53,6 +53,7 @@ from typing import Callable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.errors import IngestError
 from repro.trace.trace import Trace
 
 MAGIC = b"BPT1"
@@ -72,8 +73,17 @@ ENV_CHUNK_BRANCHES = "REPRO_CHUNK_BRANCHES"
 PathLike = Union[str, os.PathLike]
 
 
-class TraceFormatError(ValueError):
-    """Raised when a trace file is malformed."""
+class TraceFormatError(IngestError):
+    """Raised when a trace file is malformed.
+
+    Part of the :mod:`repro.errors` taxonomy (exit 2 / HTTP 400) via
+    :class:`~repro.errors.IngestError`, which itself subclasses
+    ``ValueError`` -- pre-taxonomy ``except ValueError`` callers keep
+    working.  Messages carry ``path:line`` (text) or a byte offset
+    (binary) so a malformed trace is a usage error, never a traceback.
+    """
+
+    code = "ingest.trace_format"
 
 
 def normalize_chunk_branches(value: Optional[int]) -> int:

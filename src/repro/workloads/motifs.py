@@ -44,6 +44,42 @@ from repro.workloads.program import (
     WhileLoop,
 )
 
+#: The paper's behaviour classes, as sweepable mix dimensions.  Each
+#: generator unit kind maps onto exactly one class (or none: the
+#: biased mass is the baseline every benchmark keeps), and a
+#: :class:`~repro.spec.SyntheticSource` ``mix`` weight scales every
+#: unit of that class in a profile.
+MIX_CLASSES = ("loop", "pattern", "correlated", "noise")
+
+#: Unit kind -> behaviour class.  Kinds absent here (``biased_run``,
+#: ``biased``) are the unclassified baseline mass: mix weights never
+#: touch them, so a program can never scale itself empty.
+MOTIF_CLASSES = {
+    "for_loop": "loop",
+    "while_loop": "loop",
+    "loop_nest": "loop",
+    "gated_loop": "loop",
+    "pattern": "pattern",
+    "block": "pattern",
+    "selfdep": "pattern",
+    "corr_pair": "correlated",
+    "corr_triple": "correlated",
+    "corr_quad": "correlated",
+    "assign_corr": "correlated",
+    "chain": "correlated",
+    "call": "correlated",
+    "recursion": "correlated",
+    "noise": "noise",
+    "data": "noise",
+    "markov": "noise",
+    "phase": "noise",
+}
+
+
+def mix_class(kind: str) -> str:
+    """The behaviour class of one unit kind ('' for the biased mass)."""
+    return MOTIF_CLASSES.get(kind, "")
+
 
 def biased_branch(probability: float) -> Statement:
     """A single branch taken with fixed probability (bias class)."""

@@ -9,13 +9,19 @@ for the longest run; ``REPRO_TRACE_LENGTH`` overrides the scale.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.trace.trace import Trace
 from repro.workloads.generator import BenchmarkProfile, build_program
+from repro.workloads.motifs import MIX_CLASSES, mix_class
 from repro.workloads.program import execute_program
+
+#: A behaviour-class mix: class name -> non-negative weight.  Weight 1
+#: leaves that class untouched, 0 removes it, other values scale every
+#: unit count of that class (rounded, floored at one unit).
+Mix = Mapping[str, float]
 
 #: Benchmark order used throughout the paper's tables and figures.
 BENCHMARK_NAMES: List[str] = [
@@ -282,6 +288,97 @@ def _profiles() -> Dict[str, BenchmarkProfile]:
     }
 
 
+def canonical_mix(mix: Optional[Mix]) -> Tuple[Tuple[str, float], ...]:
+    """Validate a mix and reduce it to a sorted, hashable tuple.
+
+    Unknown class names and negative weights are rejected here -- at
+    spec-parse depth, not deep inside the generator -- so a bad sweep
+    axis fails before any trace work starts.
+    """
+    if not mix:
+        return ()
+    items = []
+    for cls in sorted(mix):
+        if cls not in MIX_CLASSES:
+            raise ValueError(
+                f"unknown mix class {cls!r}; choose from {list(MIX_CLASSES)}"
+            )
+        weight = float(mix[cls])
+        if weight < 0 or weight != weight:  # negative or NaN
+            raise ValueError(
+                f"mix weight for {cls!r} must be a non-negative number, "
+                f"got {mix[cls]!r}"
+            )
+        items.append((cls, weight))
+    return tuple(items)
+
+
+def apply_mix(
+    profile: BenchmarkProfile, mix: Optional[Mix]
+) -> BenchmarkProfile:
+    """Scale a profile's unit counts by behaviour-class weights.
+
+    Weight 0 drops the class, weight 1 is the identity, anything else
+    scales each unit count (``max(1, round(count * weight))`` so a
+    present class never silently vanishes from rounding).  The biased
+    baseline mass is unclassified and never scaled, so a mix can never
+    empty a program.
+    """
+    canon = dict(canonical_mix(mix))
+    if not canon:
+        return profile
+    units: Dict[str, int] = {}
+    for kind, count in profile.units.items():
+        cls = mix_class(kind)
+        weight = canon.get(cls, 1.0) if cls else 1.0
+        if weight == 1.0:  # exact sentinel, not accuracy math (check: ignore)
+            units[kind] = count
+        elif weight == 0.0:  # exact sentinel, not accuracy math (check: ignore)
+            continue
+        else:
+            units[kind] = max(1, round(count * weight))
+    if not units:
+        raise ValueError(
+            f"mix {dict(canon)!r} leaves profile {profile.name!r} empty"
+        )
+    return replace(profile, units=units)
+
+
+def effective_mix(
+    name: str, mix: Optional[Mix]
+) -> Tuple[Tuple[str, float], ...]:
+    """The subset of a mix that actually changes one benchmark.
+
+    A weight of 1, or a weight on a class the profile has no units of,
+    contributes nothing; equivalent mixes reduce to the same tuple.
+    """
+    canon = canonical_mix(mix)
+    if not canon:
+        return ()
+    profile = _profiles()[name]
+    present = {mix_class(kind) for kind in profile.units if mix_class(kind)}
+    return tuple(
+        (c, w)
+        for c, w in canon
+        if w != 1.0 and c in present  # exact identity sentinel (check: ignore)
+    )
+
+
+def mix_items_signature(items: Tuple[Tuple[str, float], ...]) -> str:
+    """The canonical string form of an effective-mix tuple."""
+    return ",".join(f"{c}={format(w, 'g')}" for c, w in items)
+
+
+def mix_signature(name: str, mix: Optional[Mix]) -> str:
+    """Canonical identity suffix of a mix applied to one benchmark.
+
+    Returns ``""`` when the mix is a no-op (see :func:`effective_mix`),
+    so the unmixed benchmark keeps its legacy cache and plan keys
+    bit-for-bit -- the anchor of cross-point trace dedup in mix sweeps.
+    """
+    return mix_items_signature(effective_mix(name, mix))
+
+
 def default_trace_length() -> int:
     """Dynamic length of the longest benchmark (vortex's scale anchor).
 
@@ -309,6 +406,7 @@ def benchmark_spec(
     name: str,
     length: Optional[int] = None,
     run_seed: int = 12345,
+    mix: Optional[Mix] = None,
 ) -> WorkloadSpec:
     """Resolve a benchmark name to a :class:`WorkloadSpec`.
 
@@ -317,6 +415,8 @@ def benchmark_spec(
         length: Dynamic branch count; default scales the paper's
             proportions to :func:`default_trace_length`.
         run_seed: Execution seed (the "input data set").
+        mix: Optional behaviour-class weights applied to the profile's
+            unit counts (see :func:`apply_mix`).
     """
     profiles = _profiles()
     if name not in profiles:
@@ -325,15 +425,21 @@ def benchmark_spec(
         )
     if length is None:
         length = scaled_length(name)
-    return WorkloadSpec(profile=profiles[name], length=length, run_seed=run_seed)
+    profile = apply_mix(profiles[name], mix)
+    return WorkloadSpec(profile=profile, length=length, run_seed=run_seed)
 
 
 @lru_cache(maxsize=32)
-def _cached_trace(name: str, length: int, run_seed: int) -> Trace:
+def _cached_trace(
+    name: str,
+    length: int,
+    run_seed: int,
+    mix_items: Tuple[Tuple[str, float], ...] = (),
+) -> Trace:
     from repro.obs.metrics import METRICS
     from repro.obs.tracing import span
 
-    spec = benchmark_spec(name, length, run_seed)
+    spec = benchmark_spec(name, length, run_seed, mix=dict(mix_items))
     with span(
         "generate_trace", benchmark=name, length=length, run_seed=run_seed
     ), METRICS.timer("trace.generate_seconds"):
@@ -356,10 +462,14 @@ def load_benchmark(
     name: str,
     length: Optional[int] = None,
     run_seed: int = 12345,
+    mix: Optional[Mix] = None,
 ) -> Trace:
     """Generate (or fetch from cache) the trace for one benchmark."""
-    spec = benchmark_spec(name, length, run_seed)
-    return _cached_trace(spec.name, spec.length, spec.run_seed)
+    if length is None:
+        length = scaled_length(name)
+    # A mix that does not change this profile must hit the same memo
+    # entry (and disk-cache key) as the unmixed benchmark.
+    return _cached_trace(name, length, run_seed, effective_mix(name, mix))
 
 
 def load_suite(
@@ -379,6 +489,7 @@ def stream_benchmark(
     length: Optional[int] = None,
     run_seed: int = 12345,
     chunk_branches: Optional[int] = None,
+    mix: Optional[Mix] = None,
 ) -> int:
     """Generate one benchmark straight to a chunked ``.bpt`` file.
 
@@ -396,7 +507,7 @@ def stream_benchmark(
     from repro.obs.tracing import span
     from repro.trace.stream import BPT2Writer, normalize_chunk_branches
 
-    spec = benchmark_spec(name, length, run_seed)
+    spec = benchmark_spec(name, length, run_seed, mix=mix)
     chunk = normalize_chunk_branches(chunk_branches)
     from repro.workloads.program import stream_program
 

@@ -16,13 +16,18 @@ def labs():
 
 
 class TestExtensionExperiments:
+    # ext_characterize probes its own fixed mix points rather than the
+    # session labs, so lab names never appear in its render.
+    LAB_INDEPENDENT = ("ext_characterize",)
+
     @pytest.mark.parametrize("experiment_id", EXTENSION_IDS)
     def test_runs_and_renders(self, labs, experiment_id):
         result = run_experiment(experiment_id, labs)
         assert result.experiment_id == experiment_id
         text = result.render()
-        for name in labs:
-            assert name in text
+        if experiment_id not in self.LAB_INDEPENDENT:
+            for name in labs:
+                assert name in text
 
     def test_interference_conflicts_hurt(self, labs):
         result = run_experiment("ext_interference", labs)
@@ -55,3 +60,33 @@ class TestExtensionExperiments:
             adaptive, same, cross, chang = row
             assert same >= cross, name
             assert same >= adaptive - 0.5, name
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext_characterize", {})
+
+    def test_probes_every_simplex_corner(self, result):
+        from repro.workloads.motifs import MIX_CLASSES
+
+        assert set(result.rows) == {"baseline", "blend", *MIX_CLASSES}
+
+    def test_rows_carry_all_registry_predictors(self, result):
+        from repro.experiments.characterize import PROBE_PREDICTORS
+
+        for point, row in result.rows.items():
+            assert set(row[2]) == set(PROBE_PREDICTORS), point
+            for accuracy in row[2].values():
+                assert 0.0 <= accuracy <= 1.0
+
+    def test_is_deterministic(self, result):
+        again = run_experiment("ext_characterize", {})
+        assert again.to_json() == result.to_json()
+
+    def test_loop_corner_flatters_the_loop_predictor(self, result):
+        # Boosting loop behaviour must not make the loop predictor
+        # worse than it is at the correlated corner.
+        loop_acc = result.rows["loop"][2]["loop"]
+        corr_acc = result.rows["correlated"][2]["loop"]
+        assert loop_acc > corr_acc

@@ -257,3 +257,80 @@ class TestChunkedPlan:
         chunked = [t for t in plan.tasks if t.chunk is not None]
         assert chunked
         assert all("@512" in t.key for t in chunked)
+
+
+class TestMixAxisPlan:
+    """Workload-mix sweep axes: trace tasks key on the effective mix."""
+
+    def test_mix_point_gets_its_own_trace_tasks(self):
+        spec = fig9_spec(sweep=SweepSpec(axes=(("mix.noise", (1, 2)),)))
+        plan = build_plan(spec)
+        point0 = [t for t in plan.tasks if t.kind == "trace" and t.point == 0]
+        point1 = [t for t in plan.tasks if t.kind == "trace" and t.point == 1]
+        # Weight 1 is the identity: point 0 keeps the legacy keys.
+        for task in point0:
+            assert "mix=" not in task.key
+            assert task.deduped_from is None
+        # Weight 2 regenerates: distinct keys, no dedup against point 0.
+        for task in point1:
+            assert "mix=noise=2" in task.key
+            assert task.deduped_from is None
+
+    def test_identity_mix_point_keeps_legacy_keys(self):
+        swept = build_plan(
+            fig9_spec(sweep=SweepSpec(axes=(("mix.noise", (1,)),)))
+        )
+        plain = build_plan(fig9_spec())
+        swept_keys = {t.key for t in swept.tasks if t.kind == "trace"}
+        plain_keys = {t.key for t in plain.tasks if t.kind == "trace"}
+        assert swept_keys == plain_keys
+
+    def test_unchanged_traces_dedupe_across_config_points(self):
+        # A config axis crossed with a fixed mix: the mixed traces are
+        # identical at both config points, so point 1 reuses point 0's.
+        spec = fig9_spec(
+            sweep=SweepSpec(
+                axes=(
+                    ("gshare_history_bits", (8, 12)),
+                    ("mix.noise", (2,)),
+                )
+            )
+        )
+        plan = build_plan(spec)
+        point1 = [t for t in plan.tasks if t.kind == "trace" and t.point == 1]
+        assert point1, "point 1 must still list its traces"
+        for task in point1:
+            assert task.deduped_from == f"p0/trace/{task.benchmark}"
+
+    def test_mix_axis_splits_sim_tasks_too(self):
+        spec = fig9_spec(sweep=SweepSpec(axes=(("mix.noise", (1, 2)),)))
+        plan = build_plan(spec)
+        point1_sims = [
+            t for t in plan.tasks if t.kind == "sim" and t.point == 1
+        ]
+        assert point1_sims
+        for task in point1_sims:
+            assert "mix=noise=2" in task.key
+            assert task.deduped_from is None
+
+    def test_imported_source_plans_from_entries(self):
+        from repro.spec import ImportedSource, TraceEntry
+
+        spec = RunSpec(
+            experiments=("fig9",),
+            workload=ImportedSource(
+                traces=(
+                    TraceEntry(
+                        name="toy",
+                        digest="a" * 32,
+                        path="toy.bpt",
+                        format="bpt",
+                        branches=4000,
+                    ),
+                )
+            ),
+        )
+        plan = build_plan(spec)
+        traces = [t for t in plan.tasks if t.kind == "trace"]
+        assert [t.benchmark for t in traces] == ["toy"]
+        assert "digest=" + "a" * 32 in traces[0].key

@@ -184,7 +184,7 @@ class TestDigest:
 
 class TestSweepSpec:
     def test_unknown_axis_field(self):
-        with pytest.raises(SpecError, match="not a LabConfig field"):
+        with pytest.raises(SpecError, match="not sweepable"):
             SweepSpec(axes=(("warp_factor", (1, 2)),))
 
     def test_empty_axis_values(self):
@@ -327,3 +327,171 @@ class TestConfigFields:
         assert set(CONFIG_FIELDS) == {
             f.name for f in dataclasses.fields(LabConfig)
         }
+
+
+class TestTraceSources:
+    """The workload union: SyntheticSource + ImportedSource."""
+
+    def entry(self, name="toy", **overrides):
+        from repro.spec import TraceEntry
+
+        defaults = dict(
+            name=name,
+            digest="a" * 32,
+            path=f"{name}.bpt",
+            format="bpt",
+            branches=5000,
+        )
+        defaults.update(overrides)
+        return TraceEntry(**defaults)
+
+    def test_legacy_digest_is_pinned(self):
+        # The seed's digest for this exact spec -- must never drift.
+        assert small_spec().digest() == "0f0c54f0edd9c8ecac7bc02b3cff1601"
+
+    def test_unmixed_workload_serialises_in_legacy_layout(self):
+        payload = WorkloadSpec(max_length=2000, seed=7).to_dict()
+        assert payload == {
+            "max_length": 2000, "seed": 7, "benchmarks": None
+        }
+
+    def test_version_1_document_still_parses(self):
+        spec = small_spec()
+        payload = spec.to_dict()
+        payload["schema_version"] = 1
+        restored = RunSpec.from_dict(payload)
+        assert restored == spec
+        assert restored.digest() == spec.digest()
+
+    def test_unknown_source_kind_rejected(self):
+        payload = small_spec().to_dict()
+        payload["workload"] = {"kind": "oracle"}
+        with pytest.raises(SpecError, match="oracle"):
+            RunSpec.from_dict(payload)
+
+    def test_unknown_mix_class_rejected(self):
+        with pytest.raises(SpecError, match="phase"):
+            WorkloadSpec(max_length=2000, mix={"phase": 2.0})
+
+    def test_negative_mix_weight_rejected(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            WorkloadSpec(max_length=2000, mix={"noise": -1.0})
+
+    def test_mixed_workload_round_trips_and_changes_digest(self):
+        plain = small_spec()
+        mixed = small_spec(
+            workload=WorkloadSpec(max_length=2000, seed=7, mix={"noise": 2.0})
+        )
+        assert mixed.digest() != plain.digest()
+        restored = RunSpec.from_json(mixed.to_json())
+        assert restored == mixed
+        assert restored.digest() == mixed.digest()
+
+    def test_imported_source_round_trips(self):
+        from repro.spec import ImportedSource
+
+        spec = small_spec(
+            workload=ImportedSource(traces=(self.entry(),))
+        )
+        restored = RunSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.digest() == spec.digest()
+
+    def test_imported_identity_excludes_paths(self):
+        from repro.spec import ImportedSource
+
+        here = small_spec(
+            workload=ImportedSource(traces=(self.entry(path="a/toy.bpt"),))
+        )
+        there = small_spec(
+            workload=ImportedSource(traces=(self.entry(path="b/toy.bpt"),))
+        )
+        assert here.digest() == there.digest()
+
+    def test_imported_source_needs_traces(self):
+        from repro.spec import ImportedSource
+
+        with pytest.raises(SpecError, match="at least one"):
+            ImportedSource(traces=())
+
+    def test_imported_source_rejects_duplicate_names(self):
+        from repro.spec import ImportedSource
+
+        with pytest.raises(SpecError, match="duplicate"):
+            ImportedSource(traces=(self.entry(), self.entry()))
+
+
+class TestWorkloadAxes:
+    """Sweep axes over workload and mix fields."""
+
+    def test_mix_axis_accepts_floats(self):
+        sweep = SweepSpec(axes=(("mix.noise", (0, 0.5, 2.0)),))
+        assert sweep.axes[0][1] == (0, 0.5, 2.0)
+
+    def test_mix_axis_unknown_class_rejected(self):
+        with pytest.raises(SpecError, match="behaviour class"):
+            SweepSpec(axes=(("mix.phase", (1, 2)),))
+
+    def test_mix_axis_negative_weight_rejected(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            SweepSpec(axes=(("mix.noise", (-1,)),))
+
+    def test_workload_axis_accepts_ints_only(self):
+        SweepSpec(axes=(("workload.seed", (1, 2)),))
+        with pytest.raises(SpecError, match="ints"):
+            SweepSpec(axes=(("workload.seed", (1.5,)),))
+
+    def test_point_folds_workload_coords(self):
+        spec = small_spec(
+            sweep=SweepSpec(axes=(("workload.seed", (1, 2)),))
+        )
+        points = [
+            spec.point(coords) for coords in spec.sweep.coordinates()
+        ]
+        assert [p.workload.seed for p in points] == [1, 2]
+        assert all(p.sweep is None for p in points)
+
+    def test_point_folds_mix_coords(self):
+        spec = small_spec(
+            sweep=SweepSpec(axes=(("mix.noise", (0, 2.0)),))
+        )
+        points = [
+            spec.point(coords) for coords in spec.sweep.coordinates()
+        ]
+        assert points[0].workload.mix_map() == {"noise": 0.0}
+        assert points[1].workload.mix_map() == {"noise": 2.0}
+
+    def test_mixed_config_and_mix_axes_grid(self):
+        spec = small_spec(
+            sweep=SweepSpec(
+                axes=(
+                    ("gshare_history_bits", (8, 12)),
+                    ("mix.loop", (2.0,)),
+                )
+            )
+        )
+        points = [
+            spec.point(coords) for coords in spec.sweep.coordinates()
+        ]
+        assert len(points) == 2
+        assert {p.config.gshare_history_bits for p in points} == {8, 12}
+        assert all(p.workload.mix_map() == {"loop": 2.0} for p in points)
+
+    def test_workload_axis_on_imported_source_rejected(self):
+        from repro.spec import ImportedSource, TraceEntry
+
+        spec = small_spec(
+            workload=ImportedSource(
+                traces=(
+                    TraceEntry(
+                        name="toy",
+                        digest="a" * 32,
+                        path="toy.bpt",
+                        branches=100,
+                    ),
+                )
+            ),
+            sweep=SweepSpec(axes=(("mix.noise", (1, 2)),)),
+        )
+        with pytest.raises(SpecError, match="synthetic"):
+            spec.point(dict(next(iter(spec.sweep.coordinates())).items()))
